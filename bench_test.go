@@ -1,0 +1,566 @@
+// Benchmark harness: one benchmark per table and figure of the paper
+// (Table I, §VII-C crowd campaign, Table II, Fig 5-8d), plus hot-path
+// micro-benchmarks and the ablations listed in DESIGN.md §4.
+//
+// Reproduced quantities are attached to each benchmark via b.ReportMetric,
+// so `go test -bench=. -benchmem` prints both the harness cost and the
+// experimental values (rates, medians, per-node loads).
+package cyclosa_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cyclosa"
+	"cyclosa/internal/adversary"
+	"cyclosa/internal/baselines/goopir"
+	"cyclosa/internal/baselines/tmn"
+	"cyclosa/internal/baselines/xsearch"
+	"cyclosa/internal/core"
+	"cyclosa/internal/enclave"
+	"cyclosa/internal/eval"
+	"cyclosa/internal/lda"
+	"cyclosa/internal/queries"
+	"cyclosa/internal/rps"
+	"cyclosa/internal/searchengine"
+	"cyclosa/internal/securechan"
+	"cyclosa/internal/textproc"
+	"cyclosa/internal/transport"
+)
+
+// benchWorld is shared across benchmarks (building it is expensive).
+var (
+	benchOnce  sync.Once
+	benchW     *eval.World
+	benchWErr  error
+	benchStart = time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func getBenchWorld(b *testing.B) *eval.World {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchW, benchWErr = eval.NewWorld(eval.WorldConfig{
+			Seed:               1,
+			NumUsers:           80,
+			MeanQueriesPerUser: 80,
+			EngineDocs:         2000,
+			LDADocs:            800,
+			LDATopics:          10,
+			LDAIterations:      50,
+		})
+	})
+	if benchWErr != nil {
+		b.Fatal(benchWErr)
+	}
+	return benchW
+}
+
+// --- Tables ---------------------------------------------------------------
+
+// BenchmarkTable1PropertyMatrix regenerates Table I.
+func BenchmarkTable1PropertyMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(eval.RenderTable1()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkCrowdCampaign regenerates the §VII-C sensitivity statistic.
+func BenchmarkCrowdCampaign(b *testing.B) {
+	w := getBenchWorld(b)
+	var frac float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frac = eval.RunCrowdCampaign(w, eval.CrowdOptions{Queries: 2000}).SensitiveFraction
+	}
+	b.ReportMetric(100*frac, "%sensitive")
+}
+
+// BenchmarkTable2Categorizer regenerates Table II.
+func BenchmarkTable2Categorizer(b *testing.B) {
+	w := getBenchWorld(b)
+	var res *eval.CategorizerResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eval.RunCategorizerAccuracy(w, 2000)
+	}
+	for _, row := range res.Rows {
+		kind := strings.ReplaceAll(row.Kind.String(), " ", "")
+		b.ReportMetric(row.Precision, fmt.Sprintf("precision[%s]", kind))
+		b.ReportMetric(row.Recall, fmt.Sprintf("recall[%s]", kind))
+	}
+}
+
+// --- Figures --------------------------------------------------------------
+
+// BenchmarkFig5ReIdentification regenerates the Fig 5 attack comparison.
+func BenchmarkFig5ReIdentification(b *testing.B) {
+	w := getBenchWorld(b)
+	var res *eval.ReIdentificationResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eval.RunReIdentification(w, eval.ReIdentificationOptions{K: 7, MaxQueries: 250})
+	}
+	for _, m := range eval.AllMechanisms {
+		b.ReportMetric(100*res.Rates[m], fmt.Sprintf("%%reid[%s]", m))
+	}
+}
+
+// BenchmarkFig6Accuracy regenerates the Fig 6 accuracy comparison.
+func BenchmarkFig6Accuracy(b *testing.B) {
+	w := getBenchWorld(b)
+	var res *eval.AccuracyResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunAccuracy(w, eval.AccuracyOptions{K: 3, MaxQueries: 60})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(row.Completeness, fmt.Sprintf("completeness[%s]", row.Mechanism))
+	}
+}
+
+// BenchmarkFig7AdaptiveK regenerates the Fig 7 adaptive-k distribution.
+func BenchmarkFig7AdaptiveK(b *testing.B) {
+	w := getBenchWorld(b)
+	var res *eval.AdaptiveKResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eval.RunAdaptiveK(w, 2000)
+	}
+	b.ReportMetric(res.MeanK(), "mean-k")
+	b.ReportMetric(100*res.FractionAt(0), "%k=0")
+	b.ReportMetric(100*res.FractionAt(res.KMax), "%k=max")
+}
+
+// BenchmarkFig8aLatency regenerates the Fig 8a latency comparison.
+func BenchmarkFig8aLatency(b *testing.B) {
+	w := getBenchWorld(b)
+	var res *eval.LatencyResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunLatency(w, eval.LatencyOptions{Queries: 60, K: 3, NetworkNodes: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range res.Series {
+		b.ReportMetric(s.Median().Seconds(), fmt.Sprintf("median-s[%s]", s.Label))
+	}
+}
+
+// BenchmarkFig8bLatencyVsK regenerates the Fig 8b k-sweep.
+func BenchmarkFig8bLatencyVsK(b *testing.B) {
+	w := getBenchWorld(b)
+	var res *eval.LatencyVsKResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunLatencyVsK(w, 40, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range res.Series {
+		b.ReportMetric(s.Median().Seconds(), fmt.Sprintf("median-s[%s]", s.Label))
+	}
+}
+
+// BenchmarkFig8cRelayThroughput measures the single-relay capacity of both
+// systems (the Fig 8c experiment). The benchmark drives the relays directly
+// in a closed loop; achieved req/s is the figure's y-axis inverse.
+func BenchmarkFig8cRelayThroughput(b *testing.B) {
+	w := getBenchWorld(b)
+	// Expose the raw single-relay hot path to the benchmark loop.
+	handler, err := newRelayHotPath(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := handler(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// The closed-loop rate sweep runs once, after the timed loop, so its
+	// metrics survive (ResetTimer would delete user-reported metrics).
+	res, err := eval.RunThroughput(w, eval.ThroughputOptions{
+		Rates:    []float64{5000, 20000, 40000},
+		Duration: 150 * time.Millisecond,
+		Workers:  8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(eval.Saturation(res.Cyclosa), "cyclosa-sat-req/s")
+	b.ReportMetric(eval.Saturation(res.XSearch), "xsearch-sat-req/s")
+}
+
+func newRelayHotPath(w *eval.World) (func() error, error) {
+	net, err := core.NewNetwork(core.NetworkOptions{
+		Nodes:   2,
+		Seed:    7001,
+		Backend: core.NullBackend{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	net.BootstrapFromTrending(w.Uni, 8, 7001)
+	ids := net.NodeIDs()
+	client, relay := net.Node(ids[0]), ids[1]
+	return func() error {
+		return net.RelayRoundTrip(client, relay, "hot path probe", benchStart)
+	}, nil
+}
+
+// BenchmarkFig8cXSearchProxyHotPath measures the X-SEARCH proxy's
+// per-request work (channel decrypt, OR-group obfuscation, proxy-side
+// filtering of a result page, response encrypt), the counterpart of
+// BenchmarkFig8cRelayThroughput's CYCLOSA round trip (which additionally
+// includes the client-side crypto and the fixed 512-byte request padding).
+// Modern many-core hardware pushes both saturation knees far past the
+// paper's 30-40k req/s, so the Fig 8c comparison does not reproduce its
+// absolute knees here; the scalability story the paper builds on it — one
+// proxy machine for all users versus one relay per user — is reproduced by
+// Fig 8d instead.
+func BenchmarkFig8cXSearchProxyHotPath(b *testing.B) {
+	w := getBenchWorld(b)
+	ias := enclave.NewIAS()
+	platform, err := enclave.NewPlatform("bench-xsearch", ias)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proxy := xsearch.NewProxy(platform, core.NullBackend{}, transport.NewModel(1, nil, 0), 3, 7002)
+	pool := make([]string, 0, 500)
+	for _, q := range w.Train.Queries[:500] {
+		pool = append(pool, q.Text)
+	}
+	proxy.Bootstrap(pool)
+	harness, err := xsearch.NewLoadHarness(proxy, ias, 1, w.Uni)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := harness.Handle(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8dLoadBalancing regenerates the Fig 8d simulation.
+func BenchmarkFig8dLoadBalancing(b *testing.B) {
+	w := getBenchWorld(b)
+	var res *eval.LoadBalancingResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunLoadBalancing(w, eval.LoadBalancingOptions{Users: 80})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.XSearchHourlyInduced(), "xsearch-req/h")
+	b.ReportMetric(res.CyclosaMaxPerNodeHourly(), "cyclosa-max-req/h/node")
+}
+
+// --- Hot-path micro-benchmarks ---------------------------------------------
+
+// BenchmarkSecureChannelRoundTrip measures one encrypt+decrypt on an
+// established attested session (the per-message crypto cost of §V-F).
+func BenchmarkSecureChannelRoundTrip(b *testing.B) {
+	ias := enclave.NewIAS()
+	pa, err := enclave.NewPlatform("bench-a", ias)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pb, err := enclave.NewPlatform("bench-b", ias)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := enclave.Config{Name: "bench", Version: 1}
+	verifier := enclave.NewVerifier(ias, enclave.MeasureCode("bench", 1))
+	ha, err := securechan.NewHandshaker(pa.New(cfg), verifier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hb, err := securechan.NewHandshaker(pb.New(cfg), verifier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sa, sb, err := securechan.EstablishPair(ha, hb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("GET /search?q=private+web+search+with+sgx")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct, err := sa.Encrypt(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sb.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAttestedHandshake measures the full quote + verify + ECDH
+// handshake (the session-establishment cost of §V-D).
+func BenchmarkAttestedHandshake(b *testing.B) {
+	ias := enclave.NewIAS()
+	pa, err := enclave.NewPlatform("bench-hs-a", ias)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pb, err := enclave.NewPlatform("bench-hs-b", ias)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := enclave.Config{Name: "bench", Version: 1}
+	verifier := enclave.NewVerifier(ias, enclave.MeasureCode("bench", 1))
+	ea, eb := pa.New(cfg), pb.New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ha, err := securechan.NewHandshaker(ea, verifier)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hb, err := securechan.NewHandshaker(eb, verifier)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := securechan.EstablishPair(ha, hb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimAttackIdentify measures one re-identification attempt against
+// the full profile set.
+func BenchmarkSimAttackIdentify(b *testing.B) {
+	w := getBenchWorld(b)
+	attack := adversary.New(w.Train, adversary.Config{})
+	query := w.Test.Queries[0].Text
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attack.Identify(query)
+	}
+}
+
+// BenchmarkSensitivityAssess measures one full sensitivity assessment
+// (semantic + linkability) with a realistic history.
+func BenchmarkSensitivityAssess(b *testing.B) {
+	w := getBenchWorld(b)
+	user := w.Test.Users()[0]
+	analyzer := w.NewAnalyzerForUser(user, eval.DetectorCombined)
+	query := w.Test.Queries[0].Text
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzer.Assess(query)
+	}
+}
+
+// BenchmarkEngineSearch measures one ranked query against the synthetic
+// index.
+func BenchmarkEngineSearch(b *testing.B) {
+	w := getBenchWorld(b)
+	engine := w.FreshEngine(searchengine.Config{RateLimitPerHour: -1})
+	q := w.Uni.Topic("travel").Terms[0] + " " + w.Uni.Topic("travel").Terms[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Search("bench", q, benchStart); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPSRound measures one gossip round on a 100-node overlay.
+func BenchmarkRPSRound(b *testing.B) {
+	net := rps.NewNetwork(100, rps.Config{ViewSize: 16}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Round()
+	}
+}
+
+// BenchmarkLDATraining measures a small LDA training run (the offline
+// model-building cost of §V-F).
+func BenchmarkLDATraining(b *testing.B) {
+	w := getBenchWorld(b)
+	docs := queries.GenerateCorpus(w.Uni, "sex", queries.CorpusConfig{Seed: 2, Documents: 200})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lda.Train(docs, lda.Config{Topics: 8, Iterations: 20, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicAPISearch measures one end-to-end protected search through
+// the public API (crypto + relay + engine, simulated latencies not slept).
+func BenchmarkPublicAPISearch(b *testing.B) {
+	net, err := cyclosa.New(cyclosa.Config{Nodes: 8, Seed: 9, DisableAdaptiveProtection: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	uni := net.Universe()
+	q := uni.Topic("music").Terms[0]
+	node := net.Node(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := node.SearchAt(q, benchStart); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ----------------------------------------------
+
+// BenchmarkAblationFakeSource compares re-identification of CYCLOSA-style
+// individual queries when fakes come from replayed past queries (the
+// paper's design) versus RSS headlines versus dictionary noise — the design
+// choice §IV argues for.
+func BenchmarkAblationFakeSource(b *testing.B) {
+	w := getBenchWorld(b)
+	attack := adversary.New(w.Train, adversary.Config{})
+	sample := w.TestSample(200)
+	const k = 7
+
+	pool := make([]string, 0, w.Train.Len())
+	for _, q := range w.Train.Queries {
+		pool = append(pool, q.Text)
+	}
+	feed := tmn.NewRSSFeed(w.Uni, 31)
+	dict := goopir.NewDictionary(w.Uni)
+
+	sources := []struct {
+		name string
+		next func(i int, real string) string
+	}{
+		{"past-queries", func(i int, real string) string { return pool[(i*2654435761)%len(pool)] }},
+		{"rss", func(i int, real string) string { return feed.Headline() }},
+		{"dictionary", func(i int, real string) string {
+			return dict.FakeQuery(rand.New(rand.NewSource(int64(i))), len(textproc.Tokenize(real)))
+		}},
+	}
+	for _, src := range sources {
+		rate := fakeSourceRate(attack, sample, k, src.next)
+		b.ReportMetric(100*rate, fmt.Sprintf("%%reid[%s]", src.name))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fakeSourceRate(attack, sample[:40], k, sources[0].next)
+	}
+}
+
+func fakeSourceRate(attack *adversary.SimAttack, sample []queries.Query, k int, next func(int, string) string) float64 {
+	attempts, successes := 0, 0
+	for qi, q := range sample {
+		attempts++
+		if user, ok := attack.Identify(q.Text); ok && user == q.User {
+			successes++
+		}
+		for i := 0; i < k; i++ {
+			fake := next(qi*k+i, q.Text)
+			attempts++
+			if user, ok := attack.Identify(fake); ok && user == q.User {
+				successes++
+			}
+		}
+	}
+	return float64(successes) / float64(attempts)
+}
+
+// BenchmarkAblationEPCPaging shows the SGX paging cliff: relay table access
+// cost inside versus beyond the EPC limit (why the paper keeps the enclave
+// at 1.7 MB).
+func BenchmarkAblationEPCPaging(b *testing.B) {
+	small := enclave.NewEPC(64 << 20)
+	small.Alloc(1 << 20) // 1.7 MB-style enclave: fits
+	over := enclave.NewEPC(64 << 20)
+	over.Alloc(96 << 20) // oversubscribed enclave
+
+	var inLimit, paged time.Duration
+	for i := 0; i < 1000; i++ {
+		inLimit += small.Touch(64 << 10)
+		paged += over.Touch(64 << 10)
+	}
+	b.ReportMetric(float64(inLimit.Nanoseconds())/1000, "ns-touch-fit")
+	b.ReportMetric(float64(paged.Nanoseconds())/1000, "ns-touch-paged")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		over.Touch(64 << 10)
+	}
+}
+
+// BenchmarkAblationAdaptiveVsFixed quantifies the traffic saved by adaptive
+// protection versus always sending kmax fakes.
+func BenchmarkAblationAdaptiveVsFixed(b *testing.B) {
+	w := getBenchWorld(b)
+	var res *eval.AdaptiveKResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eval.RunAdaptiveK(w, 1000)
+	}
+	fixed := float64(res.KMax)
+	b.ReportMetric(res.MeanK(), "adaptive-mean-k")
+	b.ReportMetric(fixed, "fixed-k")
+	b.ReportMetric(100*(1-res.MeanK()/fixed), "%traffic-saved")
+}
+
+// BenchmarkAblationChurn measures availability under overlay churn.
+func BenchmarkAblationChurn(b *testing.B) {
+	w := getBenchWorld(b)
+	var res *eval.ChurnResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunChurn(w, eval.ChurnOptions{
+			Nodes: 24, K: 2, FailedFractions: []float64{0, 0.25}, SearchesPerPoint: 40,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Points[0].Availability, "%avail-healthy")
+	b.ReportMetric(100*res.Points[len(res.Points)-1].Availability, "%avail-churn25")
+}
+
+// BenchmarkAblationLearningAdversary measures the extended threat model: an
+// adversary that feeds intercepted queries back into its profiles.
+func BenchmarkAblationLearningAdversary(b *testing.B) {
+	w := getBenchWorld(b)
+	var res *eval.LearningAdversaryResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eval.RunLearningAdversary(w, 7, 120, 3)
+	}
+	b.ReportMetric(res.FinalGap(), "tor/cyclosa-gap")
+	b.ReportMetric(100*res.CyclosaRates[len(res.CyclosaRates)-1], "%reid-final[CYCLOSA]")
+}
+
+// BenchmarkAblationSensitivityDetectors compares the per-query cost of the
+// three categorizer variants.
+func BenchmarkAblationSensitivityDetectors(b *testing.B) {
+	w := getBenchWorld(b)
+	terms := textproc.Tokenize(w.Test.Queries[0].Text)
+	for _, kind := range []eval.DetectorKind{eval.DetectorWordNet, eval.DetectorLDA, eval.DetectorCombined} {
+		det := w.NewDetector(kind)
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				det.IsSensitive(terms)
+			}
+		})
+	}
+}

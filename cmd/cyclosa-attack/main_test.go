@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestRunSingleMechanism(t *testing.T) {
+	err := run([]string{
+		"-mechanism", "tor", "-users", "15", "-queries", "60", "-k", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownMechanism(t *testing.T) {
+	err := run([]string{"-mechanism", "nope", "-users", "10", "-queries", "20"})
+	if err == nil {
+		t.Fatal("unknown mechanism should fail")
+	}
+}

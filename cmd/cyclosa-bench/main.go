@@ -1,0 +1,181 @@
+// Command cyclosa-bench regenerates the tables and figures of the paper's
+// evaluation (§VII, §VIII) from the reproduction's experiment drivers.
+//
+// Usage:
+//
+//	cyclosa-bench -exp all
+//	cyclosa-bench -exp fig5 -users 198 -seed 1
+//	cyclosa-bench -exp fig8c -duration 2s
+//
+// Experiments: table1, crowd, table2, fig5, fig6, fig7, fig8a, fig8b,
+// fig8c, fig8d, all (everything except the real-time fig8c unless
+// explicitly requested).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cyclosa/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cyclosa-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cyclosa-bench", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|all")
+		seed     = fs.Int64("seed", 1, "random seed")
+		users    = fs.Int("users", 198, "workload users (paper: 198)")
+		mean     = fs.Int("mean-queries", 120, "mean queries per user")
+		queries  = fs.Int("queries", 1000, "max queries per experiment (0 = all)")
+		duration = fs.Duration("duration", 500*time.Millisecond, "per-rate duration for fig8c")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := strings.ToLower(*exp)
+	needWorld := want != "table1"
+
+	var world *eval.World
+	if needWorld {
+		fmt.Fprintf(os.Stderr, "building world (seed=%d users=%d)...\n", *seed, *users)
+		var err error
+		world, err = eval.NewWorld(eval.WorldConfig{
+			Seed:               *seed,
+			NumUsers:           *users,
+			MeanQueriesPerUser: *mean,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "world: %s train, %s test\n", world.Train, world.Test)
+	}
+
+	type experiment struct {
+		name string
+		run  func() error
+	}
+	experiments := []experiment{
+		{"table1", func() error {
+			fmt.Println(eval.RenderTable1())
+			return nil
+		}},
+		{"crowd", func() error {
+			fmt.Println(eval.RunCrowdCampaign(world, eval.CrowdOptions{}))
+			return nil
+		}},
+		{"table2", func() error {
+			fmt.Println(eval.RunCategorizerAccuracy(world, *queries*10))
+			return nil
+		}},
+		{"fig7", func() error {
+			fmt.Println(eval.RunAdaptiveK(world, *queries*10))
+			return nil
+		}},
+		{"fig5", func() error {
+			fmt.Println(eval.RunReIdentification(world, eval.ReIdentificationOptions{K: 7, MaxQueries: *queries}))
+			return nil
+		}},
+		{"fig6", func() error {
+			r, err := eval.RunAccuracy(world, eval.AccuracyOptions{K: 3, MaxQueries: minInt(*queries, 300)})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
+		{"fig8a", func() error {
+			r, err := eval.RunLatency(world, eval.LatencyOptions{Queries: minInt(*queries, 200), K: 3})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
+		{"fig8b", func() error {
+			r, err := eval.RunLatencyVsK(world, minInt(*queries, 200), 32)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
+		{"fig8c", func() error {
+			r, err := eval.RunThroughput(world, eval.ThroughputOptions{Duration: *duration})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
+		{"fig8d", func() error {
+			r, err := eval.RunLoadBalancing(world, eval.LoadBalancingOptions{})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
+		{"ablation", func() error {
+			fmt.Println(eval.RunFakeSourceAblation(world, 7, *queries))
+			return nil
+		}},
+		{"sweep", func() error {
+			r, err := eval.RunSensitivitySweep(world, nil, *queries)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
+		{"learning", func() error {
+			fmt.Println(eval.RunLearningAdversary(world, 7, *queries/3, 3))
+			return nil
+		}},
+		{"churn", func() error {
+			r, err := eval.RunChurn(world, eval.ChurnOptions{})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if want != "all" && want != e.name {
+			continue
+		}
+		if want == "all" && e.name == "fig8c" {
+			fmt.Println("fig8c: skipped in -exp all (real-time load test); run -exp fig8c explicitly")
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", e.name)
+		if err := e.run(); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

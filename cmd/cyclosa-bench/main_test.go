@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunTable1(t *testing.T) {
+	if err := run([]string{"-exp", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCrowdSmallWorld(t *testing.T) {
+	if err := run([]string{"-exp", "crowd", "-users", "20", "-mean-queries", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFastExperimentsSmallWorld(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several experiment drivers")
+	}
+	args := []string{"-users", "20", "-mean-queries", "30", "-queries", "60"}
+	for _, exp := range []string{"table2", "fig7", "fig6", "ablation"} {
+		if err := run(append([]string{"-exp", exp}, args...)); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope", "-users", "10", "-mean-queries", "10"}); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

@@ -1,0 +1,219 @@
+// Command cyclosa-node demonstrates the networked deployment path: a relay
+// node serving attested secure channels over real TCP, and a client that
+// attests it, forwards a query and prints the results.
+//
+// Usage:
+//
+//	cyclosa-node -mode demo                 # relay + client in one process
+//	cyclosa-node -mode relay -listen :7844  # long-running relay
+//	cyclosa-node -mode client -connect host:7844 -query "terms"
+//
+// Separate relay and client processes must share the -ias-secret flag: it
+// stands in for Intel's platform provisioning, letting both sides
+// reconstruct the attestation roots. The relay answers from its local
+// simulated search engine; in a production deployment this is the TLS
+// connection to the real engine originating inside the enclave.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"cyclosa/internal/core"
+	"cyclosa/internal/enclave"
+	"cyclosa/internal/queries"
+	"cyclosa/internal/searchengine"
+	"cyclosa/internal/securechan"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cyclosa-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cyclosa-node", flag.ContinueOnError)
+	var (
+		mode      = fs.String("mode", "demo", "demo|relay|client")
+		listen    = fs.String("listen", "127.0.0.1:7844", "relay listen address")
+		connect   = fs.String("connect", "127.0.0.1:7844", "client target address")
+		query     = fs.String("query", "", "client query (default: a topical sample)")
+		seed      = fs.Int64("seed", 1, "seed for the relay's simulated engine")
+		iasSecret = fs.String("ias-secret", "cyclosa-demo", "shared attestation provisioning secret")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	env := newAttestationEnv(*iasSecret)
+	switch *mode {
+	case "relay":
+		return runRelay(env, *listen, *seed, nil)
+	case "client":
+		return runClient(env, *connect, *query, *seed)
+	case "demo":
+		ready := make(chan string, 1)
+		errCh := make(chan error, 1)
+		go func() { errCh <- runRelay(env, "127.0.0.1:0", *seed, ready) }()
+		select {
+		case addr := <-ready:
+			if err := runClient(env, addr, *query, *seed); err != nil {
+				return err
+			}
+			fmt.Println("demo: success")
+			return nil
+		case err := <-errCh:
+			return err
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("relay did not start")
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// attestationEnv reconstructs the shared attestation roots on each side.
+type attestationEnv struct {
+	ias      *enclave.IAS
+	relay    *enclave.Platform
+	client   *enclave.Platform
+	verifier *enclave.Verifier
+}
+
+func newAttestationEnv(secret string) *attestationEnv {
+	ias := enclave.NewIAS()
+	return &attestationEnv{
+		ias:      ias,
+		relay:    enclave.NewDeterministicPlatform("relay-platform", []byte(secret), ias),
+		client:   enclave.NewDeterministicPlatform("client-platform", []byte(secret), ias),
+		verifier: enclave.NewVerifier(ias, enclave.MeasureCode(core.EnclaveName, core.EnclaveVersion)),
+	}
+}
+
+// wireRequest / wireResponse are the TCP message formats.
+type wireRequest struct {
+	Query string `json:"query"`
+}
+
+type wireResponse struct {
+	Results []searchengine.Result `json:"results"`
+	Error   string                `json:"error,omitempty"`
+}
+
+func runRelay(env *attestationEnv, addr string, seed int64, ready chan<- string) error {
+	encl := env.relay.New(enclave.Config{Name: core.EnclaveName, Version: core.EnclaveVersion})
+	hs, err := securechan.NewHandshaker(encl, env.verifier)
+	if err != nil {
+		return err
+	}
+	uni := queries.NewUniverse(queries.UniverseConfig{Seed: seed})
+	engine := searchengine.New(uni, searchengine.Config{Seed: seed})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("relay: listening on %s (enclave %s)\n", ln.Addr(), encl.Measurement())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, hs, engine)
+	}
+}
+
+func serveConn(conn net.Conn, hs *securechan.Handshaker, engine *searchengine.Engine) {
+	defer conn.Close()
+	ch, err := securechan.Accept(conn, hs)
+	if err != nil {
+		fmt.Printf("relay: attestation failed for %s: %v\n", conn.RemoteAddr(), err)
+		return
+	}
+	fmt.Printf("relay: attested channel from %s (peer enclave %s)\n",
+		conn.RemoteAddr(), ch.Session().PeerMeasurement())
+	for {
+		raw, err := ch.Receive()
+		if err != nil {
+			return
+		}
+		var req wireRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return
+		}
+		resp := wireResponse{}
+		results, err := engine.Search(conn.RemoteAddr().String(), req.Query, time.Now())
+		if err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.Results = results
+		}
+		payload, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		if err := ch.Send(payload); err != nil {
+			return
+		}
+	}
+}
+
+func runClient(env *attestationEnv, addr, query string, seed int64) error {
+	encl := env.client.New(enclave.Config{Name: core.EnclaveName, Version: core.EnclaveVersion})
+	hs, err := securechan.NewHandshaker(encl, env.verifier)
+	if err != nil {
+		return err
+	}
+	if query == "" {
+		uni := queries.NewUniverse(queries.UniverseConfig{Seed: seed})
+		query = uni.Topic("travel").Terms[0] + " " + uni.Topic("travel").Terms[1]
+	}
+
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	ch, err := securechan.Dial(conn, hs)
+	if err != nil {
+		return fmt.Errorf("attested dial: %w", err)
+	}
+	fmt.Printf("client: attested relay enclave %s\n", ch.Session().PeerMeasurement())
+
+	payload, err := json.Marshal(wireRequest{Query: query})
+	if err != nil {
+		return err
+	}
+	if err := ch.Send(payload); err != nil {
+		return err
+	}
+	raw, err := ch.Receive()
+	if err != nil {
+		return err
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return err
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("relay error: %s", resp.Error)
+	}
+	fmt.Printf("client: %d results for %q\n", len(resp.Results), query)
+	for i, r := range resp.Results {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %d. %s (%s)\n", i+1, r.Title, r.URL)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+// TestDemoMode runs the full TCP path: relay listener, attested handshake,
+// query, response.
+func TestDemoMode(t *testing.T) {
+	if err := run([]string{"-mode", "demo", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	if err := run([]string{"-mode", "nope"}); err == nil {
+		t.Fatal("unknown mode should fail")
+	}
+}
+
+// TestMismatchedIASSecret verifies that a client provisioned with a
+// different attestation secret is rejected by the relay (and vice versa).
+func TestMismatchedIASSecret(t *testing.T) {
+	envRelay := newAttestationEnv("secret-a")
+	envClient := newAttestationEnv("secret-b")
+
+	ready := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- runRelay(envRelay, "127.0.0.1:0", 1, ready) }()
+	select {
+	case addr := <-ready:
+		if err := runClient(envClient, addr, "query", 1); err == nil {
+			t.Fatal("mismatched attestation roots should fail the handshake")
+		}
+	case err := <-errCh:
+		t.Fatal(err)
+	}
+}

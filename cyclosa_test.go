@@ -1,0 +1,114 @@
+package cyclosa
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 1}); err == nil {
+		t.Error("1-node deployment should fail")
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	net, err := New(Config{Nodes: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNodes() != 8 {
+		t.Fatalf("NumNodes = %d", net.NumNodes())
+	}
+	uni := net.Universe()
+	q := uni.Topic("travel").Terms[0] + " " + uni.Topic("travel").Terms[1]
+
+	node := net.Node(0)
+	res, err := node.SearchAt(q, time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) == 0 {
+		t.Fatal("no results")
+	}
+	if res.RealRelay == node.ID() {
+		t.Error("query relayed by the issuing node")
+	}
+	// The engine saw relays, never the issuing node.
+	for _, o := range net.Engine().Observations() {
+		if o.Source == node.ID() {
+			t.Error("issuing node contacted the engine directly")
+		}
+	}
+	if node.Stats().Searches != 1 {
+		t.Errorf("Searches = %d", node.Stats().Searches)
+	}
+}
+
+func TestPublicAPISensitiveQueryGetsMaxProtection(t *testing.T) {
+	net, err := New(Config{Nodes: 10, Seed: 43, KMax: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := net.Universe()
+	sens := uni.Topic("sex").Terms[0] + " " + uni.Topic("sex").Terms[1]
+	res, err := net.Node(2).SearchAt(sens, time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assessment.SemanticSensitive {
+		t.Error("sensitive query not detected")
+	}
+	if res.K != 3 {
+		t.Errorf("K = %d, want kmax=3", res.K)
+	}
+}
+
+func TestPublicAPIDisabledProtection(t *testing.T) {
+	net, err := New(Config{Nodes: 4, Seed: 44, DisableAdaptiveProtection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := net.Universe()
+	res, err := net.Node(0).SearchAt(uni.Topic("sex").Terms[0], time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 0 || res.Assessment.SemanticSensitive {
+		t.Errorf("protection not disabled: %+v", res.Assessment)
+	}
+}
+
+func TestPublicAPIFailover(t *testing.T) {
+	net, err := New(Config{Nodes: 10, Seed: 45, DisableAdaptiveProtection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill a few nodes; searches from a survivor must still succeed or fail
+	// gracefully.
+	net.Kill(5)
+	net.Kill(6)
+	net.Gossip(10)
+	uni := net.Universe()
+	ok := 0
+	for i := 0; i < 5; i++ {
+		if _, err := net.Node(0).SearchAt(uni.Topic("music").Terms[i], time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)); err == nil {
+			ok++
+		}
+	}
+	if ok == 0 {
+		t.Error("no search succeeded after partial failure")
+	}
+}
+
+func TestNodeIndexWraps(t *testing.T) {
+	net, err := New(Config{Nodes: 3, Seed: 46, DisableAdaptiveProtection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Node(0).ID() != net.Node(3).ID() {
+		t.Error("index should wrap")
+	}
+	if net.Node(-1).ID() != net.Node(2).ID() {
+		t.Error("negative index should wrap")
+	}
+}

@@ -1,0 +1,42 @@
+// Package cyclosa is a research-grade reproduction of CYCLOSA, the
+// decentralized private web search system of Pires et al. (ICDCS 2018):
+// "CYCLOSA: Decentralizing Private Web Search Through SGX-Based Browser
+// Extensions".
+//
+// CYCLOSA protects a user's search queries with two complementary
+// properties. Unlinkability: queries reach the search engine through relays
+// run by other users, so the engine never sees the requester's identity.
+// Indistinguishability: alongside every real query the client sends an
+// adaptive number k of fake queries — real past queries of other users,
+// replayed from an enclave-resident table — through distinct relays, so an
+// engine-side adversary cannot tell which incoming query is real or who sent
+// it. Because real and fake queries travel separately (no OR-merging), the
+// real query's results come back untouched: accuracy is perfect. Because
+// every node relays for the others, the per-node query rate at the engine
+// stays below bot-detection thresholds: the system scales where centralized
+// proxies get blocked.
+//
+// The package wires together the full stack of substrates implemented under
+// internal/: a simulated SGX enclave runtime with remote attestation
+// (internal/enclave), attested secure channels (internal/securechan),
+// gossip-based random peer sampling (internal/rps), the sensitivity analysis
+// with its WordNet-like lexical database and from-scratch LDA
+// (internal/sensitivity, internal/wordnet, internal/lda), a deterministic
+// search engine with bot protection (internal/searchengine), and the five
+// baselines the paper compares against (internal/baselines/...).
+//
+// # Quick start
+//
+//	net, err := cyclosa.New(cyclosa.Config{Nodes: 20, Seed: 42})
+//	if err != nil { ... }
+//	node := net.Node(0)
+//	res, err := node.Search("some query terms")
+//	if err != nil { ... }
+//	for _, r := range res.Results {
+//		fmt.Println(r.URL, r.Title)
+//	}
+//
+// The evaluation harness that regenerates every table and figure of the
+// paper lives in internal/eval and is driven by cmd/cyclosa-bench and the
+// root benchmark suite (bench_test.go).
+package cyclosa

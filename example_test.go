@@ -1,0 +1,53 @@
+package cyclosa_test
+
+import (
+	"fmt"
+	"time"
+
+	"cyclosa"
+)
+
+// ExampleNew shows a minimal protected search through a small deployment.
+func ExampleNew() {
+	net, err := cyclosa.New(cyclosa.Config{Nodes: 6, Seed: 7})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	uni := net.Universe()
+	query := uni.Topic("travel").Terms[0]
+
+	res, err := net.Node(0).SearchAt(query, time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("results:", len(res.Results) > 0)
+	fmt.Println("relayed by another node:", res.RealRelay != net.Node(0).ID())
+	// Output:
+	// results: true
+	// relayed by another node: true
+}
+
+// ExampleNode_Search demonstrates adaptive protection: sensitive queries
+// receive the maximum number of fake queries.
+func ExampleNode_Search() {
+	net, err := cyclosa.New(cyclosa.Config{Nodes: 10, Seed: 7, KMax: 5})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	uni := net.Universe()
+	sensitive := uni.Topic("sex").Terms[0] + " " + uni.Topic("sex").Terms[1]
+
+	res, err := net.Node(1).SearchAt(sensitive, time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("detected sensitive:", res.Assessment.SemanticSensitive)
+	fmt.Println("fake queries:", res.K)
+	// Output:
+	// detected sensitive: true
+	// fake queries: 5
+}

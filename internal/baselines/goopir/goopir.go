@@ -1,0 +1,112 @@
+// Package goopir implements the GooPIR baseline (§II-A2): each user query is
+// obfuscated by OR-ing it with k-1 fake queries drawn from a dictionary,
+// then sent directly to the search engine under the user's identity. The
+// engine's merged result page is filtered client-side, losing accuracy; the
+// dictionary fakes carry no user-profile affinity, so the real query stands
+// out to a profile-aware adversary (the 50% bar of Fig 5).
+package goopir
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"cyclosa/internal/queries"
+	"cyclosa/internal/searchengine"
+	"cyclosa/internal/textproc"
+	"cyclosa/internal/transport"
+)
+
+// Backend is the search engine.
+type Backend interface {
+	Search(source, query string, now time.Time) ([]searchengine.Result, error)
+}
+
+// Dictionary is the flat word list GooPIR draws fake terms from, built from
+// the whole universe vocabulary (topic terms and background alike).
+type Dictionary struct {
+	words []string
+}
+
+// NewDictionary flattens the universe vocabulary.
+func NewDictionary(uni *queries.Universe) *Dictionary {
+	var words []string
+	for _, t := range uni.Topics {
+		words = append(words, t.Terms...)
+	}
+	words = append(words, uni.Background...)
+	return &Dictionary{words: words}
+}
+
+// Size returns the dictionary size.
+func (d *Dictionary) Size() int { return len(d.words) }
+
+// FakeQuery builds a fake with the same number of terms as the real query
+// (GooPIR matches term counts and frequencies so fakes are not trivially
+// distinguishable by shape).
+func (d *Dictionary) FakeQuery(rng *rand.Rand, termCount int) string {
+	if termCount <= 0 {
+		termCount = 1
+	}
+	terms := make([]string, termCount)
+	for i := range terms {
+		terms[i] = d.words[rng.Intn(len(d.words))]
+	}
+	return strings.Join(terms, " ")
+}
+
+// Client is one user's GooPIR frontend.
+type Client struct {
+	user    string
+	backend Backend
+	dict    *Dictionary
+	model   *transport.Model
+	k       int
+	rng     *rand.Rand
+}
+
+// NewClient creates a client that aggregates each query with k-1 fakes
+// (k <= 1 defaults to 4, the paper's k=3 fakes + real).
+func NewClient(user string, backend Backend, dict *Dictionary, model *transport.Model, k int, seed int64) *Client {
+	if k <= 1 {
+		k = 4
+	}
+	return &Client{
+		user:    user,
+		backend: backend,
+		dict:    dict,
+		model:   model,
+		k:       k,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Obfuscate builds the OR-aggregated query with the real query at a random
+// position; it also returns the disjunct list and the real index (ground
+// truth for the evaluation harness).
+func (c *Client) Obfuscate(query string) (obfuscated string, disjuncts []string, realIdx int) {
+	termCount := len(textproc.Tokenize(query))
+	disjuncts = make([]string, c.k)
+	realIdx = c.rng.Intn(c.k)
+	for i := range disjuncts {
+		if i == realIdx {
+			disjuncts[i] = query
+			continue
+		}
+		disjuncts[i] = c.dict.FakeQuery(c.rng, termCount)
+	}
+	return strings.Join(disjuncts, searchengine.ORSeparator), disjuncts, realIdx
+}
+
+// Search sends the obfuscated disjunction and filters the merged page,
+// keeping results that share a term with the real query.
+func (c *Client) Search(query string, now time.Time) ([]searchengine.Result, time.Duration, error) {
+	obfuscated, _, _ := c.Obfuscate(query)
+	latency := c.model.Sample(transport.LinkEngineRTT)
+	merged, err := c.backend.Search(c.user, obfuscated, now)
+	if err != nil {
+		return nil, latency, fmt.Errorf("goopir search: %w", err)
+	}
+	return searchengine.FilterByQuery(merged, query), latency, nil
+}

@@ -1,0 +1,212 @@
+// Package peas implements the PEAS baseline (§II-A2): two non-colluding
+// servers split the user's identity from the query content. The proxy sees
+// who queries but not what (the payload is encrypted for the issuer); the
+// issuer sees the query but not who sent it. The issuer obfuscates each
+// query by OR-ing it with k fakes generated from a co-occurrence matrix of
+// terms built from past user queries — syntactically closer to real queries
+// than RSS/dictionary fakes, but still behind CYCLOSA's replayed real
+// queries (Fig 5). PEAS is centralized: all traffic reaches the engine from
+// the issuer's address, which is what gets it rate limited in Fig 8d.
+package peas
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"cyclosa/internal/searchengine"
+	"cyclosa/internal/textproc"
+	"cyclosa/internal/transport"
+)
+
+// Backend is the search engine.
+type Backend interface {
+	Search(source, query string, now time.Time) ([]searchengine.Result, error)
+}
+
+// IssuerSource is the network identity the engine sees for all PEAS traffic.
+const IssuerSource = "peas-issuer"
+
+// Cooccurrence is the term co-occurrence matrix the issuer accumulates from
+// the (anonymous) queries it forwards, used to generate plausible fakes.
+type Cooccurrence struct {
+	mu     sync.Mutex
+	counts map[string]map[string]int
+	terms  []string
+	seen   map[string]struct{}
+}
+
+// NewCooccurrence creates an empty matrix.
+func NewCooccurrence() *Cooccurrence {
+	return &Cooccurrence{
+		counts: make(map[string]map[string]int),
+		seen:   make(map[string]struct{}),
+	}
+}
+
+// Add records the pairwise co-occurrences of a query's terms.
+func (c *Cooccurrence) Add(terms []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, t := range terms {
+		if _, ok := c.seen[t]; !ok {
+			c.seen[t] = struct{}{}
+			c.terms = append(c.terms, t)
+		}
+		for _, u := range terms {
+			if t == u {
+				continue
+			}
+			m, ok := c.counts[t]
+			if !ok {
+				m = make(map[string]int)
+				c.counts[t] = m
+			}
+			m[u]++
+		}
+	}
+}
+
+// Terms returns the number of distinct terms seen.
+func (c *Cooccurrence) Terms() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.terms)
+}
+
+// Generate builds one fake query of the given length by a weighted walk over
+// the co-occurrence graph: start from a random seen term, then repeatedly
+// step to a co-occurring term (weighted by count). Returns "" if the matrix
+// is empty.
+func (c *Cooccurrence) Generate(rng *rand.Rand, length int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.terms) == 0 {
+		return ""
+	}
+	if length <= 0 {
+		length = 1
+	}
+	current := c.terms[rng.Intn(len(c.terms))]
+	out := []string{current}
+	for len(out) < length {
+		next := c.step(rng, current)
+		if next == "" {
+			next = c.terms[rng.Intn(len(c.terms))]
+		}
+		out = append(out, next)
+		current = next
+	}
+	return strings.Join(out, " ")
+}
+
+// step picks a co-occurring neighbour of term weighted by count (caller
+// holds the lock).
+func (c *Cooccurrence) step(rng *rand.Rand, term string) string {
+	neighbours := c.counts[term]
+	if len(neighbours) == 0 {
+		return ""
+	}
+	total := 0
+	for _, n := range neighbours {
+		total += n
+	}
+	x := rng.Intn(total)
+	for t, n := range neighbours {
+		x -= n
+		if x < 0 {
+			return t
+		}
+	}
+	return ""
+}
+
+// Issuer is the second PEAS server: it sees query content but no identity.
+type Issuer struct {
+	backend Backend
+	coocc   *Cooccurrence
+	k       int
+	mu      sync.Mutex
+	rng     *rand.Rand
+}
+
+// NewIssuer creates an issuer that obfuscates with k fakes per query
+// (k <= 0 defaults to 3).
+func NewIssuer(backend Backend, k int, seed int64) *Issuer {
+	if k <= 0 {
+		k = 3
+	}
+	return &Issuer{
+		backend: backend,
+		coocc:   NewCooccurrence(),
+		k:       k,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Cooccurrence exposes the matrix (for seeding from historical queries).
+func (i *Issuer) Cooccurrence() *Cooccurrence { return i.coocc }
+
+// handle processes one anonymous query: update the matrix, build the OR
+// group, query the engine, filter the merged page.
+func (i *Issuer) handle(query string, now time.Time) ([]searchengine.Result, []string, int, error) {
+	terms := textproc.Tokenize(query)
+	i.coocc.Add(terms)
+
+	i.mu.Lock()
+	disjuncts := make([]string, i.k+1)
+	realIdx := i.rng.Intn(i.k + 1)
+	for j := range disjuncts {
+		if j == realIdx {
+			disjuncts[j] = query
+			continue
+		}
+		fake := i.coocc.Generate(i.rng, len(terms))
+		if fake == "" {
+			fake = query // degenerate start-up case: no material yet
+		}
+		disjuncts[j] = fake
+	}
+	i.mu.Unlock()
+
+	obfuscated := strings.Join(disjuncts, searchengine.ORSeparator)
+	merged, err := i.backend.Search(IssuerSource, obfuscated, now)
+	if err != nil {
+		return nil, disjuncts, realIdx, fmt.Errorf("peas issuer: %w", err)
+	}
+	return searchengine.FilterByTerms(merged, terms), disjuncts, realIdx, nil
+}
+
+// Proxy is the first PEAS server: it sees identity but only an encrypted
+// payload. In this reproduction the encryption boundary is modelled by the
+// API: the proxy hands the opaque query to the issuer without inspecting or
+// logging it, and identity stops here.
+type Proxy struct {
+	issuer *Issuer
+	model  *transport.Model
+}
+
+// NewProxy wires the proxy to its issuer.
+func NewProxy(issuer *Issuer, model *transport.Model) *Proxy {
+	return &Proxy{issuer: issuer, model: model}
+}
+
+// Search relays user's query through proxy and issuer. The latency path is
+// client → proxy → issuer → engine and back (two extra WAN hops each way
+// versus a direct query).
+func (p *Proxy) Search(user, query string, now time.Time) ([]searchengine.Result, time.Duration, error) {
+	_ = user                                    // identity is dropped here: the issuer never sees it
+	latency := p.model.RTT(transport.LinkWAN) + // client <-> proxy
+		p.model.RTT(transport.LinkWAN) + // proxy <-> issuer
+		p.model.Sample(transport.LinkEngineRTT)
+	results, _, _, err := p.issuer.handle(query, now)
+	return results, latency, err
+}
+
+// Obfuscate exposes the issuer's obfuscation for the evaluation harness: it
+// returns the disjuncts and real index the adversary will face.
+func (p *Proxy) Obfuscate(query string, now time.Time) ([]searchengine.Result, []string, int, error) {
+	return p.issuer.handle(query, now)
+}

@@ -1,0 +1,168 @@
+// Package tor implements the onion-routing baseline (§II-A1): queries are
+// wrapped in three layers of encryption and routed through three relays;
+// the exit relay submits the plain query to the search engine. TOR provides
+// unlinkability but no indistinguishability (the engine receives the real
+// query verbatim) and pays the overlay's heavy latency (the paper measures a
+// 62.28 s median).
+package tor
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"cyclosa/internal/searchengine"
+	"cyclosa/internal/transport"
+)
+
+// CircuitLength is the standard TOR circuit length.
+const CircuitLength = 3
+
+// Backend is the search engine reached by exit relays.
+type Backend interface {
+	Search(source, query string, now time.Time) ([]searchengine.Result, error)
+}
+
+// ErrNotEnoughRelays is returned when the overlay is smaller than a circuit.
+var ErrNotEnoughRelays = errors.New("tor: not enough relays for a circuit")
+
+// Relay is one onion router with its circuit key.
+type Relay struct {
+	id   string
+	aead cipher.AEAD
+}
+
+// newRelay creates a relay with a fresh AES-GCM circuit key (the key a real
+// circuit would negotiate with the telescoping handshake).
+func newRelay(id string) (*Relay, error) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("relay key: %w", err)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("relay cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("relay gcm: %w", err)
+	}
+	return &Relay{id: id, aead: aead}, nil
+}
+
+// ID returns the relay identifier.
+func (r *Relay) ID() string { return r.id }
+
+// wrap adds this relay's onion layer.
+func (r *Relay) wrap(plain []byte) ([]byte, error) {
+	nonce := make([]byte, r.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("onion nonce: %w", err)
+	}
+	return r.aead.Seal(nonce, nonce, plain, nil), nil
+}
+
+// peel removes this relay's onion layer.
+func (r *Relay) peel(onion []byte) ([]byte, error) {
+	if len(onion) < r.aead.NonceSize() {
+		return nil, errors.New("tor: onion too short")
+	}
+	nonce, ct := onion[:r.aead.NonceSize()], onion[r.aead.NonceSize():]
+	plain, err := r.aead.Open(nil, nonce, ct, nil)
+	if err != nil {
+		return nil, fmt.Errorf("tor: peel layer at %s: %w", r.id, err)
+	}
+	return plain, nil
+}
+
+// Network is the TOR overlay.
+type Network struct {
+	relays  []*Relay
+	backend Backend
+	model   *transport.Model
+	rng     *mrand.Rand
+}
+
+// NewNetwork creates an overlay of numRelays onion routers.
+func NewNetwork(numRelays int, backend Backend, model *transport.Model, seed int64) (*Network, error) {
+	if numRelays < CircuitLength {
+		return nil, ErrNotEnoughRelays
+	}
+	n := &Network{
+		backend: backend,
+		model:   model,
+		rng:     mrand.New(mrand.NewSource(seed)),
+	}
+	for i := 0; i < numRelays; i++ {
+		r, err := newRelay(fmt.Sprintf("tor-relay-%03d", i))
+		if err != nil {
+			return nil, err
+		}
+		n.relays = append(n.relays, r)
+	}
+	return n, nil
+}
+
+// Circuit is a three-relay path: entry, middle, exit.
+type Circuit struct {
+	net    *Network
+	relays [CircuitLength]*Relay
+}
+
+// NewCircuit selects three distinct random relays.
+func (n *Network) NewCircuit() *Circuit {
+	idx := n.rng.Perm(len(n.relays))[:CircuitLength]
+	c := &Circuit{net: n}
+	for i, j := range idx {
+		c.relays[i] = n.relays[j]
+	}
+	return c
+}
+
+// ExitID returns the exit relay's identifier — the source the search engine
+// sees.
+func (c *Circuit) ExitID() string { return c.relays[CircuitLength-1].id }
+
+// Search routes a query through the circuit: the client builds the onion
+// (encrypting for exit first, entry last), each relay peels its layer, the
+// exit submits the plain query. Latency accounts one TOR hop per relay in
+// each direction plus the engine round trip.
+func (c *Circuit) Search(query string, now time.Time) ([]searchengine.Result, time.Duration, error) {
+	// Build the onion inside out.
+	payload := []byte(query)
+	for i := CircuitLength - 1; i >= 0; i-- {
+		var err error
+		payload, err = c.relays[i].wrap(payload)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+
+	var latency time.Duration
+	// Forward path: peel at each relay.
+	for i := 0; i < CircuitLength; i++ {
+		latency += c.net.model.Sample(transport.LinkTorHop)
+		var err error
+		payload, err = c.relays[i].peel(payload)
+		if err != nil {
+			return nil, latency, err
+		}
+	}
+	plainQuery := string(payload)
+
+	latency += c.net.model.Sample(transport.LinkEngineRTT)
+	results, err := c.net.backend.Search(c.ExitID(), plainQuery, now)
+	if err != nil {
+		return nil, latency, fmt.Errorf("tor exit: %w", err)
+	}
+
+	// Return path back through the circuit.
+	for i := 0; i < CircuitLength; i++ {
+		latency += c.net.model.Sample(transport.LinkTorHop)
+	}
+	return results, latency, nil
+}

@@ -1,0 +1,115 @@
+package tor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cyclosa/internal/queries"
+	"cyclosa/internal/searchengine"
+	"cyclosa/internal/transport"
+)
+
+var t0 = time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func testSetup(t *testing.T) (*queries.Universe, *searchengine.Engine, *Network) {
+	t.Helper()
+	uni := queries.NewUniverse(queries.UniverseConfig{Seed: 60})
+	engine := searchengine.New(uni, searchengine.Config{Seed: 60, NumDocs: 600})
+	net, err := NewNetwork(9, engine, transport.DefaultModel(60), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return uni, engine, net
+}
+
+func TestCircuitSearch(t *testing.T) {
+	uni, engine, net := testSetup(t)
+	circuit := net.NewCircuit()
+	q := uni.Topic("travel").Terms[0]
+	results, latency, err := circuit.Search(q, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results through circuit")
+	}
+	// Accuracy is perfect: same page as direct (§VIII-B).
+	direct := engine.DirectResults(q)
+	if len(results) != len(direct) {
+		t.Fatal("result count differs from direct")
+	}
+	for i := range direct {
+		if results[i].DocID != direct[i].DocID {
+			t.Fatal("circuit results differ from direct")
+		}
+	}
+	// Latency includes 6 TOR hops: far above a direct query.
+	if latency < 5*time.Second {
+		t.Errorf("TOR latency = %v, implausibly low", latency)
+	}
+	// The engine saw the exit relay, not the user.
+	obs := engine.Observations()
+	if obs[len(obs)-1].Source != circuit.ExitID() {
+		t.Errorf("engine saw source %q, want exit %q", obs[len(obs)-1].Source, circuit.ExitID())
+	}
+	if !strings.HasPrefix(circuit.ExitID(), "tor-relay-") {
+		t.Errorf("exit ID = %q", circuit.ExitID())
+	}
+}
+
+func TestCircuitDistinctRelays(t *testing.T) {
+	_, _, net := testSetup(t)
+	for i := 0; i < 20; i++ {
+		c := net.NewCircuit()
+		seen := make(map[string]struct{})
+		for _, r := range c.relays {
+			if _, dup := seen[r.ID()]; dup {
+				t.Fatal("circuit reuses a relay")
+			}
+			seen[r.ID()] = struct{}{}
+		}
+	}
+}
+
+func TestOnionLayering(t *testing.T) {
+	_, _, net := testSetup(t)
+	c := net.NewCircuit()
+	// Wrap through all three relays; peeling in the wrong order must fail.
+	payload := []byte("secret query")
+	var err error
+	for i := CircuitLength - 1; i >= 0; i-- {
+		payload, err = c.relays[i].wrap(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if strings.Contains(string(payload), "secret") {
+		t.Error("onion leaks plaintext")
+	}
+	if _, err := c.relays[1].peel(payload); err == nil {
+		t.Error("middle relay peeled the entry layer")
+	}
+	// Correct order succeeds.
+	for i := 0; i < CircuitLength; i++ {
+		payload, err = c.relays[i].peel(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(payload) != "secret query" {
+		t.Errorf("peeled = %q", payload)
+	}
+	if _, err := c.relays[0].peel([]byte("x")); err == nil {
+		t.Error("short onion should fail")
+	}
+}
+
+func TestNewNetworkTooSmall(t *testing.T) {
+	uni := queries.NewUniverse(queries.UniverseConfig{Seed: 61})
+	engine := searchengine.New(uni, searchengine.Config{Seed: 61, NumDocs: 100})
+	if _, err := NewNetwork(2, engine, transport.DefaultModel(61), 61); !errors.Is(err, ErrNotEnoughRelays) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package xsearch
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cyclosa/internal/enclave"
+	"cyclosa/internal/queries"
+	"cyclosa/internal/searchengine"
+	"cyclosa/internal/securechan"
+	"cyclosa/internal/textproc"
+)
+
+// LoadHarness drives the proxy's per-request work for the throughput
+// benchmark (Fig 8c): each request is decrypted from a client secure
+// channel, obfuscated into an OR group, the (canned) merged result page is
+// filtered proxy-side, and the filtered page is encrypted back. This is the
+// full proxy hot path minus the engine round trip, matching the paper's
+// methodology.
+type LoadHarness struct {
+	proxy *Proxy
+	// clientSess[i]/proxySess[i] are the two ends of worker i's channel.
+	clientSess []*securechan.Session
+	proxySess  []*securechan.Session
+	page       []searchengine.Result
+	queryTerms []string
+}
+
+// NewLoadHarness establishes one attested channel per worker and prepares a
+// canned merged result page of the engine's usual size.
+func NewLoadHarness(proxy *Proxy, ias *enclave.IAS, workers int, uni *queries.Universe) (*LoadHarness, error) {
+	verifier := enclave.NewVerifier(ias,
+		enclave.MeasureCode("xsearch-proxy", 1),
+		enclave.MeasureCode("xsearch-client", 1),
+	)
+	proxyHS, err := securechan.NewHandshaker(proxy.encl, verifier)
+	if err != nil {
+		return nil, fmt.Errorf("proxy handshaker: %w", err)
+	}
+
+	h := &LoadHarness{proxy: proxy}
+	for i := 0; i < workers; i++ {
+		platform, err := enclave.NewPlatform(fmt.Sprintf("xsearch-client-%d", i), ias)
+		if err != nil {
+			return nil, err
+		}
+		clientEncl := platform.New(enclave.Config{Name: "xsearch-client", Version: 1})
+		clientHS, err := securechan.NewHandshaker(clientEncl, verifier)
+		if err != nil {
+			return nil, err
+		}
+		cs, ps, err := securechan.EstablishPair(clientHS, proxyHS)
+		if err != nil {
+			return nil, fmt.Errorf("worker %d session: %w", i, err)
+		}
+		h.clientSess = append(h.clientSess, cs)
+		h.proxySess = append(h.proxySess, ps)
+	}
+
+	// Canned merged page: 10 topical documents, half matching the probe
+	// query (so the filter does real work).
+	topic := uni.Topics[len(uni.Topics)-1]
+	h.queryTerms = []string{topic.Terms[0], topic.Terms[1]}
+	for i := 0; i < 10; i++ {
+		terms := []string{topic.Terms[(i*3)%len(topic.Terms)], topic.Terms[(i*7+1)%len(topic.Terms)]}
+		if i%2 == 0 {
+			terms = append(terms, topic.Terms[0])
+		}
+		h.page = append(h.page, searchengine.Result{
+			DocID: i,
+			URL:   fmt.Sprintf("https://web.sim/%s/%d", topic.Name, i),
+			Title: terms[0],
+			Terms: terms,
+			Score: float64(10 - i),
+		})
+	}
+	return h, nil
+}
+
+// Handle performs one request on worker's channel.
+func (h *LoadHarness) Handle(worker int) error {
+	w := worker % len(h.clientSess)
+	query := h.queryTerms[0] + " " + h.queryTerms[1]
+
+	// Client side: encrypt the query.
+	ct, err := h.clientSess[w].Encrypt([]byte(query))
+	if err != nil {
+		return err
+	}
+
+	// Proxy side: decrypt, obfuscate, filter the merged page, encrypt.
+	plain, err := h.proxySess[w].Decrypt(ct)
+	if err != nil {
+		return err
+	}
+	obfuscated, _, _ := h.proxy.Obfuscate(string(plain))
+	_ = obfuscated // in production this goes to the engine
+	filtered := searchengine.FilterByTerms(h.page, textproc.Tokenize(string(plain)))
+	payload, err := json.Marshal(filtered)
+	if err != nil {
+		return err
+	}
+	respCT, err := h.proxySess[w].Encrypt(payload)
+	if err != nil {
+		return err
+	}
+
+	// Client side: decrypt the response.
+	if _, err := h.clientSess[w].Decrypt(respCT); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChurnResilience exercises the decentralization claim under failures:
+// a third of the overlay dies, gossip heals the views, and the surviving
+// nodes keep completing protected searches (blacklisting dead relays on the
+// way).
+func TestChurnResilience(t *testing.T) {
+	w := getWorld(t)
+	net, err := NewNetwork(NetworkOptions{
+		Nodes:       30,
+		Seed:        77,
+		Backend:     w.engine,
+		AnalyzerFor: analyzerFactory(w, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.BootstrapFromTrending(w.uni, 16, 77)
+	ids := net.NodeIDs()
+
+	// Warm-up: every node searches once.
+	for i, id := range ids {
+		if _, err := net.Node(id).Search(w.uni.Topic("games").Terms[i%10], t0); err != nil {
+			t.Fatalf("warm-up search from %s: %v", id, err)
+		}
+	}
+
+	// Kill 10 of 30 nodes.
+	for _, id := range ids[20:] {
+		net.Kill(id)
+	}
+	net.Gossip(15) // heal
+
+	// Survivors keep searching; a small number of failures is acceptable
+	// while blacklists converge, but the vast majority must succeed.
+	attempts, successes := 0, 0
+	for round := 0; round < 3; round++ {
+		for _, id := range ids[:20] {
+			attempts++
+			if _, err := net.Node(id).Search(w.uni.Topic("pets").Terms[round], t0.Add(time.Minute)); err == nil {
+				successes++
+			}
+		}
+	}
+	if float64(successes) < 0.9*float64(attempts) {
+		t.Errorf("only %d/%d searches succeeded after churn", successes, attempts)
+	}
+
+	// Dead nodes must not appear as relays in the engine log after healing.
+	dead := make(map[string]struct{})
+	for _, id := range ids[20:] {
+		dead[id] = struct{}{}
+	}
+	obs := w.engine.Observations()
+	for _, o := range obs[len(obs)-successes:] {
+		if _, isDead := dead[o.Source]; isDead {
+			t.Errorf("dead node %s appeared as relay after healing", o.Source)
+		}
+	}
+}
+
+// TestRepeatedSearchesAccumulateTables verifies the fake-query ecosystem:
+// traffic through relays grows their tables, making future fakes richer.
+func TestRepeatedSearchesAccumulateTables(t *testing.T) {
+	w := getWorld(t)
+	net := newTestNetwork(t, 8, w, 2)
+	ids := net.NodeIDs()
+	before := 0
+	for _, id := range ids {
+		before += net.Node(id).TableLen()
+	}
+	for round := 0; round < 4; round++ {
+		for i, id := range ids {
+			if _, err := net.Node(id).Search(w.uni.Topic("cars").Terms[(round*8+i)%40], t0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	after := 0
+	for _, id := range ids {
+		after += net.Node(id).TableLen()
+	}
+	// Every search pushes k+1 queries into relay tables.
+	if after <= before {
+		t.Errorf("tables did not grow: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStartStopGossip(t *testing.T) {
+	w := getWorld(t)
+	net, err := NewNetwork(NetworkOptions{
+		Nodes:        10,
+		Seed:         88,
+		Backend:      NullBackend{},
+		GossipRounds: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.BootstrapFromTrending(w.uni, 8, 88)
+
+	if err := net.StartGossip(2 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.StartGossip(time.Millisecond); err == nil {
+		t.Error("double start should fail")
+	}
+
+	// The loop must actually run rounds.
+	deadline := time.Now().Add(2 * time.Second)
+	start := net.rpsNet.Rounds()
+	for net.rpsNet.Rounds() < start+3 {
+		if time.Now().After(deadline) {
+			t.Fatal("gossip loop did not advance")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	net.StopGossip()
+	after := net.rpsNet.Rounds()
+	time.Sleep(10 * time.Millisecond)
+	if net.rpsNet.Rounds() != after {
+		t.Error("gossip loop kept running after StopGossip")
+	}
+	// Stop is idempotent; restart works.
+	net.StopGossip()
+	if err := net.StartGossip(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	net.StopGossip()
+}
+
+// Searches proceed correctly while the overlay is being reshuffled
+// concurrently.
+func TestSearchDuringGossip(t *testing.T) {
+	w := getWorld(t)
+	net := newTestNetwork(t, 12, w, 2)
+	if err := net.StartGossip(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer net.StopGossip()
+
+	node := net.Node(net.NodeIDs()[0])
+	for i := 0; i < 20; i++ {
+		if _, err := node.Search(w.uni.Topic("movies").Terms[i%20], t0); err != nil {
+			t.Fatalf("search %d during gossip: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"cyclosa/internal/searchengine"
+)
+
+// requestPadSize is the fixed on-wire plaintext size of a forward request.
+// §IV's traffic argument requires that an external observer of the
+// (encrypted) links cannot tell real queries, fake queries and forwarded
+// queries apart; with length-prefixed padding to a constant size, every
+// request record has the identical length regardless of the query inside.
+// 512 bytes comfortably holds any real-world search query.
+const requestPadSize = 512
+
+// padPlaintext wraps payload as [4-byte length | payload | zero padding] of
+// exactly requestPadSize bytes (longer payloads are carried unpadded — the
+// rare oversize query still works, at a distinguishability cost).
+func padPlaintext(payload []byte) []byte {
+	if 4+len(payload) > requestPadSize {
+		out := make([]byte, 4+len(payload))
+		binary.BigEndian.PutUint32(out, uint32(len(payload)))
+		copy(out[4:], payload)
+		return out
+	}
+	out := make([]byte, requestPadSize)
+	binary.BigEndian.PutUint32(out, uint32(len(payload)))
+	copy(out[4:], payload)
+	return out
+}
+
+// unpadPlaintext reverses padPlaintext.
+func unpadPlaintext(padded []byte) ([]byte, error) {
+	if len(padded) < 4 {
+		return nil, fmt.Errorf("padded message too short: %d bytes", len(padded))
+	}
+	n := binary.BigEndian.Uint32(padded)
+	if int(n) > len(padded)-4 {
+		return nil, fmt.Errorf("padded length %d exceeds message size %d", n, len(padded))
+	}
+	return padded[4 : 4+n], nil
+}
+
+// forwardRequest is the enclave-to-enclave message asking a relay to submit
+// a query to the search engine on the sender's behalf. Real and fake
+// queries use the identical message, so relays (and any traffic observer)
+// cannot tell them apart (§IV) — unlike OR-group systems whose obfuscated
+// messages are visibly larger than plain ones.
+type forwardRequest struct {
+	// Query is the search query to forward.
+	Query string `json:"query"`
+	// RequestID is a random identifier echoed in the response; it lets the
+	// client detect replays (§VI-b) and match responses to requests.
+	RequestID uint64 `json:"requestId"`
+}
+
+// forwardResponse carries the search results back to the requesting node.
+type forwardResponse struct {
+	// RequestID echoes the request identifier.
+	RequestID uint64 `json:"requestId"`
+	// Results is the engine's result page.
+	Results []searchengine.Result `json:"results"`
+	// EngineError is set when the engine refused the query (rate limited or
+	// blocked); the results are then empty.
+	EngineError string `json:"engineError,omitempty"`
+}
+
+func encodeRequest(r *forwardRequest) ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("encode forward request: %w", err)
+	}
+	return b, nil
+}
+
+func decodeRequest(data []byte) (*forwardRequest, error) {
+	var r forwardRequest
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("decode forward request: %w", err)
+	}
+	return &r, nil
+}
+
+func encodeResponse(r *forwardResponse) ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("encode forward response: %w", err)
+	}
+	return b, nil
+}
+
+func decodeResponse(data []byte) (*forwardResponse, error) {
+	var r forwardResponse
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("decode forward response: %w", err)
+	}
+	return &r, nil
+}

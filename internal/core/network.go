@@ -1,0 +1,333 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cyclosa/internal/enclave"
+	"cyclosa/internal/queries"
+	"cyclosa/internal/rps"
+	"cyclosa/internal/securechan"
+	"cyclosa/internal/sensitivity"
+	"cyclosa/internal/transport"
+)
+
+// DefaultClientSendCost is the per-request client-side dispatch cost (the
+// browser extension serializes, encrypts and writes each of the k+1
+// requests through js-ctypes and the enclave gate). Calibrated against the
+// paper's measurements: the latency growth from k=3 (0.876 s median,
+// Fig 8a) to k=7 (1.226 s, Fig 8b) implies ≈84 ms per additional request on
+// their testbed.
+const DefaultClientSendCost = 84 * time.Millisecond
+
+// NetworkOptions configures the in-process CYCLOSA deployment.
+type NetworkOptions struct {
+	// Nodes is the network size.
+	Nodes int
+	// Seed drives all node and overlay randomness.
+	Seed int64
+	// Backend is the search engine relays forward to.
+	Backend Backend
+	// LatencyModel samples link latencies (DefaultModel(Seed) if nil).
+	LatencyModel *transport.Model
+	// AnalyzerFor builds the per-node sensitivity analyzer; nil gives nodes
+	// without adaptive protection (k always 0).
+	AnalyzerFor func(nodeID string) *sensitivity.Analyzer
+	// TableSize bounds each node's past-query table.
+	TableSize int
+	// RPSConfig tunes peer sampling (sensible defaults if zero).
+	RPSConfig rps.Config
+	// BootstrapQueries pre-fills each node's fake-query table; typically a
+	// trending-source batch (§V-D).
+	BootstrapQueries []string
+	// GossipRounds is the number of peer-sampling rounds run at start-up
+	// (default 20, enough for overlay convergence).
+	GossipRounds int
+	// ClientSendCost overrides DefaultClientSendCost.
+	ClientSendCost time.Duration
+}
+
+// Network is an in-process CYCLOSA deployment: nodes with simulated enclaves
+// on genuine platforms, a shared IAS, a converged peer-sampling overlay and
+// a latency model. Message exchange is synchronous; latencies are sampled
+// and accounted rather than slept, so large deployments simulate quickly.
+type Network struct {
+	mu             sync.Mutex
+	nodes          map[string]*Node
+	order          []string
+	dead           map[string]struct{}
+	pairs          map[pairKey]*pairState
+	engine         Backend
+	model          *transport.Model
+	ias            *enclave.IAS
+	verifier       *enclave.Verifier
+	rpsNet         *rps.Network
+	rng            *rand.Rand
+	clientSendCost time.Duration
+	requestCounter uint64
+	gossipStop     chan struct{}
+	gossipDone     chan struct{}
+}
+
+type pairKey struct{ client, relay string }
+
+type pairState struct {
+	mu     sync.Mutex
+	client *securechan.Session
+}
+
+// NewNetwork builds and bootstraps the deployment: platforms register with
+// the IAS, the overlay gossips to convergence, fake-query tables are
+// bootstrapped.
+func NewNetwork(opts NetworkOptions) (*Network, error) {
+	if opts.Nodes <= 1 {
+		return nil, fmt.Errorf("core: need at least 2 nodes, got %d", opts.Nodes)
+	}
+	if opts.Backend == nil {
+		opts.Backend = NullBackend{}
+	}
+	if opts.LatencyModel == nil {
+		opts.LatencyModel = transport.DefaultModel(opts.Seed)
+	}
+	if opts.GossipRounds == 0 {
+		opts.GossipRounds = 20
+	}
+	if opts.ClientSendCost == 0 {
+		opts.ClientSendCost = DefaultClientSendCost
+	}
+
+	ias := enclave.NewIAS()
+	verifier := enclave.NewVerifier(ias, enclave.MeasureCode(EnclaveName, EnclaveVersion))
+	rpsNet := rps.NewNetwork(opts.Nodes, opts.RPSConfig, opts.Seed)
+
+	net := &Network{
+		nodes:          make(map[string]*Node, opts.Nodes),
+		dead:           make(map[string]struct{}),
+		pairs:          make(map[pairKey]*pairState),
+		engine:         opts.Backend,
+		model:          opts.LatencyModel,
+		ias:            ias,
+		verifier:       verifier,
+		rpsNet:         rpsNet,
+		rng:            rand.New(rand.NewSource(opts.Seed)),
+		clientSendCost: opts.ClientSendCost,
+	}
+
+	for i, id := range rpsNet.NodeIDs() {
+		platform, err := enclave.NewPlatform(fmt.Sprintf("sgx-%s", id), ias)
+		if err != nil {
+			return nil, fmt.Errorf("platform for %s: %w", id, err)
+		}
+		var analyzer *sensitivity.Analyzer
+		if opts.AnalyzerFor != nil {
+			analyzer = opts.AnalyzerFor(string(id))
+		}
+		node, err := newNode(NodeOptions{
+			ID:        string(id),
+			Analyzer:  analyzer,
+			TableSize: opts.TableSize,
+			Seed:      opts.Seed + int64(i)*104729,
+		}, platform, verifier, rpsNet.Node(id), opts.Backend, net)
+		if err != nil {
+			return nil, err
+		}
+		if len(opts.BootstrapQueries) > 0 {
+			node.BootstrapTable(opts.BootstrapQueries)
+		}
+		net.nodes[string(id)] = node
+		net.order = append(net.order, string(id))
+	}
+
+	rpsNet.Run(opts.GossipRounds)
+	return net, nil
+}
+
+// BootstrapFromTrending fills every node's table with n queries from a
+// trending source over the universe.
+func (net *Network) BootstrapFromTrending(uni *queries.Universe, n int, seed int64) {
+	src := queries.NewTrendingSource(uni, seed)
+	for _, id := range net.order {
+		net.nodes[id].BootstrapTable(src.Batch(n))
+	}
+}
+
+// Node returns the node with the given ID, or nil.
+func (net *Network) Node(id string) *Node {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return net.nodes[id]
+}
+
+// NodeIDs returns all node IDs in stable order.
+func (net *Network) NodeIDs() []string {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	out := make([]string, len(net.order))
+	copy(out, net.order)
+	return out
+}
+
+// Kill marks a node unreachable: forwards to it fail and the overlay heals
+// around it.
+func (net *Network) Kill(id string) {
+	net.mu.Lock()
+	net.dead[id] = struct{}{}
+	net.mu.Unlock()
+	net.rpsNet.Kill(rps.NodeID(id))
+}
+
+// Alive reports whether a node is reachable.
+func (net *Network) Alive(id string) bool {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	_, dead := net.dead[id]
+	return !dead
+}
+
+// Gossip runs additional peer-sampling rounds (e.g. to heal after failures).
+func (net *Network) Gossip(rounds int) { net.rpsNet.Run(rounds) }
+
+// StartGossip launches the continuous peer-sampling loop: one gossip round
+// every interval, keeping the overlay a "continuously changing random
+// topology" (§V-E) in long-running deployments. It returns immediately;
+// call StopGossip to stop the loop and wait for it to exit. Starting twice
+// without stopping is an error.
+func (net *Network) StartGossip(interval time.Duration) error {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if net.gossipStop != nil {
+		return errors.New("core: gossip loop already running")
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	net.gossipStop, net.gossipDone = stop, done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				net.rpsNet.Round()
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// StopGossip signals the gossip loop to stop and waits for it to exit. It
+// is a no-op when the loop is not running.
+func (net *Network) StopGossip() {
+	net.mu.Lock()
+	stop, done := net.gossipStop, net.gossipDone
+	net.gossipStop, net.gossipDone = nil, nil
+	net.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// forward delivers one encrypted forward request from client to relay and
+// returns the decoded response plus the sampled path latency:
+// WAN out + relay processing + engine RTT (inside backend) + WAN back.
+func (net *Network) forward(client *Node, relayID, query string, now time.Time) (*forwardResponse, time.Duration, error) {
+	if !net.Alive(relayID) {
+		return nil, 0, ErrRelayUnavailable
+	}
+	net.mu.Lock()
+	relay := net.nodes[relayID]
+	net.mu.Unlock()
+	if relay == nil {
+		return nil, 0, fmt.Errorf("%w: unknown relay %s", ErrRelayUnavailable, relayID)
+	}
+
+	ps, err := net.pair(client, relay)
+	if err != nil {
+		return nil, 0, err
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+
+	latency := net.model.Sample(transport.LinkWAN) +
+		net.model.ProcessingCost() +
+		net.model.Sample(transport.LinkEngineRTT) +
+		net.model.ProcessingCost() +
+		net.model.Sample(transport.LinkWAN)
+
+	req := &forwardRequest{Query: query, RequestID: net.nextRequestID()}
+	plain, err := encodeRequest(req)
+	if err != nil {
+		return nil, latency, err
+	}
+	// Pad to the fixed request size so a link observer cannot distinguish
+	// requests by length (§IV).
+	ct, err := ps.client.Encrypt(padPlaintext(plain))
+	if err != nil {
+		return nil, latency, fmt.Errorf("client encrypt: %w", err)
+	}
+	respCT, err := relay.handleForward(client.id, ct, now)
+	if err != nil {
+		return nil, latency, fmt.Errorf("relay %s: %w", relayID, err)
+	}
+	respPlain, err := ps.client.Decrypt(respCT)
+	if err != nil {
+		return nil, latency, fmt.Errorf("client decrypt: %w", err)
+	}
+	resp, err := decodeResponse(respPlain)
+	if err != nil {
+		return nil, latency, err
+	}
+	if resp.RequestID != req.RequestID {
+		return nil, latency, fmt.Errorf("response id mismatch: got %d want %d", resp.RequestID, req.RequestID)
+	}
+	return resp, latency, nil
+}
+
+// pair returns (establishing on first use) the attested session state
+// between client and relay.
+func (net *Network) pair(client *Node, relay *Node) (*pairState, error) {
+	key := pairKey{client.id, relay.id}
+	net.mu.Lock()
+	ps, ok := net.pairs[key]
+	if !ok {
+		ps = &pairState{}
+		net.pairs[key] = ps
+	}
+	net.mu.Unlock()
+
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.client != nil {
+		return ps, nil
+	}
+	cs, rs, err := securechan.EstablishPair(client.handshaker, relay.handshaker)
+	if err != nil {
+		return nil, fmt.Errorf("attested session %s->%s: %w", client.id, relay.id, err)
+	}
+	ps.client = cs
+	relay.admitSession(client.id, rs)
+	return ps, nil
+}
+
+// RelayRoundTrip performs one full forward round trip (client encrypt →
+// relay ecall: decrypt, record, backend, encrypt → client decrypt) for
+// capacity benchmarking (Fig 8c). The sampled network latency is discarded;
+// the caller measures wall time.
+func (net *Network) RelayRoundTrip(client *Node, relayID, query string, now time.Time) error {
+	_, _, err := net.forward(client, relayID, query, now)
+	return err
+}
+
+func (net *Network) nextRequestID() uint64 {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	net.requestCounter++
+	return net.requestCounter
+}

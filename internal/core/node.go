@@ -1,0 +1,435 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cyclosa/internal/enclave"
+	"cyclosa/internal/rps"
+	"cyclosa/internal/searchengine"
+	"cyclosa/internal/securechan"
+	"cyclosa/internal/sensitivity"
+)
+
+// EnclaveName and EnclaveVersion define the measured code identity of the
+// CYCLOSA enclave; all nodes run the same implementation, which is what the
+// known-good measurement list attests (§V-D).
+const (
+	EnclaveName    = "cyclosa-relay"
+	EnclaveVersion = 1
+)
+
+// Backend is the search engine a relay forwards queries to.
+type Backend interface {
+	Search(source, query string, now time.Time) ([]searchengine.Result, error)
+}
+
+// NullBackend answers every query instantly with no results; it backs the
+// relay-throughput benchmark (Fig 8c submits no queries to the engine).
+type NullBackend struct{}
+
+var _ Backend = NullBackend{}
+
+// Search returns an empty result page.
+func (NullBackend) Search(string, string, time.Time) ([]searchengine.Result, error) {
+	return nil, nil
+}
+
+// Node errors.
+var (
+	ErrNoPeers          = errors.New("core: no peers available")
+	ErrRelayUnavailable = errors.New("core: relay unavailable")
+	ErrRelayFailed      = errors.New("core: real query relay failed")
+)
+
+// NodeStats counts a node's activity.
+type NodeStats struct {
+	// Searches is the number of local user queries processed.
+	Searches uint64
+	// FakesSent is the number of fake queries issued.
+	FakesSent uint64
+	// Relayed is the number of queries relayed for other nodes.
+	Relayed uint64
+	// EngineErrors counts engine refusals observed while relaying.
+	EngineErrors uint64
+	// Blacklisted counts peers this node blacklisted.
+	Blacklisted uint64
+}
+
+// SearchResult is the outcome of one protected search.
+type SearchResult struct {
+	// Results is the result page of the real query.
+	Results []searchengine.Result
+	// Assessment is the sensitivity assessment that drove the protection.
+	Assessment sensitivity.Assessment
+	// K is the number of fake queries actually sent (may be lower than the
+	// assessment's k when few peers are known).
+	K int
+	// RealRelay is the peer that forwarded the real query.
+	RealRelay string
+	// Latency is the simulated end-to-end latency of the real query,
+	// including the client-side cost of dispatching the fakes.
+	Latency time.Duration
+	// EngineError is non-nil when the relay reached the engine but the
+	// engine refused the query.
+	EngineError error
+}
+
+// enclaveState is the data owned by the enclave: responder-side sessions and
+// the past-query table. Host code interacts with it only through ecalls.
+type enclaveState struct {
+	mu       sync.Mutex
+	sessions map[string]*securechan.Session
+	table    *PastQueryTable
+}
+
+// Node is one CYCLOSA participant: browser-extension client plus
+// enclave-hosted relay.
+type Node struct {
+	id         string
+	encl       *enclave.Enclave
+	handshaker *securechan.Handshaker
+	analyzer   *sensitivity.Analyzer
+	peers      *rps.Node
+	state      *enclaveState // reachable only via ecalls in relay flow
+	backend    Backend
+	net        *Network
+
+	mu           sync.Mutex
+	rng          *rand.Rand
+	clientSess   map[string]*securechan.Session
+	stats        NodeStats
+	relayTimeout time.Duration
+}
+
+// NodeOptions configures a node.
+type NodeOptions struct {
+	// ID is the node identity (also its network source address).
+	ID string
+	// Analyzer is the sensitivity analyzer; nil disables protection
+	// (k = 0 always), useful for baselines.
+	Analyzer *sensitivity.Analyzer
+	// TableSize bounds the past-query table.
+	TableSize int
+	// Seed drives the node's randomness.
+	Seed int64
+	// RelayTimeout is the unresponsive-relay blacklisting deadline (§VI-b);
+	// it is charged to latency when a relay fails (default 1s).
+	RelayTimeout time.Duration
+}
+
+func newNode(opts NodeOptions, platform *enclave.Platform, verifier *enclave.Verifier, peers *rps.Node, backend Backend, net *Network) (*Node, error) {
+	if opts.RelayTimeout == 0 {
+		opts.RelayTimeout = time.Second
+	}
+	encl := platform.New(enclave.Config{Name: EnclaveName, Version: EnclaveVersion})
+	hs, err := securechan.NewHandshaker(encl, verifier)
+	if err != nil {
+		return nil, fmt.Errorf("node %s: %w", opts.ID, err)
+	}
+	n := &Node{
+		id:         opts.ID,
+		encl:       encl,
+		handshaker: hs,
+		analyzer:   opts.Analyzer,
+		peers:      peers,
+		state: &enclaveState{
+			sessions: make(map[string]*securechan.Session),
+			table:    NewPastQueryTable(opts.TableSize, encl.EPC()),
+		},
+		backend:      backend,
+		net:          net,
+		rng:          rand.New(rand.NewSource(opts.Seed)),
+		clientSess:   make(map[string]*securechan.Session),
+		relayTimeout: opts.RelayTimeout,
+	}
+	n.registerECalls()
+	n.registerSealECalls()
+	return n, nil
+}
+
+// registerECalls installs the trusted relay functions behind the call gate.
+func (n *Node) registerECalls() {
+	// "forward": decrypt a peer's request, record the query, submit it to
+	// the engine (via the engine ocall) and return the encrypted response.
+	n.encl.RegisterECall("forward", func(args []byte) ([]byte, error) {
+		var in struct {
+			From    string `json:"from"`
+			Payload []byte `json:"payload"`
+			NowNano int64  `json:"nowNano"`
+		}
+		if err := json.Unmarshal(args, &in); err != nil {
+			return nil, fmt.Errorf("forward args: %w", err)
+		}
+		n.state.mu.Lock()
+		sess := n.state.sessions[in.From]
+		n.state.mu.Unlock()
+		if sess == nil {
+			return nil, fmt.Errorf("forward: no session with %s", in.From)
+		}
+		padded, err := sess.Decrypt(in.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("forward decrypt: %w", err)
+		}
+		plain, err := unpadPlaintext(padded)
+		if err != nil {
+			return nil, fmt.Errorf("forward unpad: %w", err)
+		}
+		req, err := decodeRequest(plain)
+		if err != nil {
+			return nil, err
+		}
+
+		// Record the query in the enclave-resident table (step 4 of Fig 4):
+		// it becomes fake-query source material.
+		n.state.table.Add(req.Query)
+
+		// Submit to the engine through the untrusted host (ocall), as the
+		// enclave's TLS bytes would leave through the host NIC.
+		resp := &forwardResponse{RequestID: req.RequestID}
+		out, err := n.encl.OCall("engine", mustJSON(engineCall{
+			Source: n.id, Query: req.Query, NowNano: in.NowNano,
+		}))
+		if err != nil {
+			resp.EngineError = err.Error()
+		} else {
+			var results []searchengine.Result
+			if err := json.Unmarshal(out, &results); err != nil {
+				return nil, fmt.Errorf("engine ocall result: %w", err)
+			}
+			resp.Results = results
+		}
+
+		encoded, err := encodeResponse(resp)
+		if err != nil {
+			return nil, err
+		}
+		return sess.Encrypt(encoded)
+	})
+
+	// "admitSession": store the responder-side session for a peer, created
+	// after successful mutual attestation.
+	// (Installed as a closure rather than an ecall because the session
+	// object cannot cross a byte-slice boundary; the call still goes through
+	// the gate for accounting via the ocall counter-part below.)
+	n.encl.RegisterOCall("engine", func(args []byte) ([]byte, error) {
+		var call engineCall
+		if err := json.Unmarshal(args, &call); err != nil {
+			return nil, fmt.Errorf("engine call args: %w", err)
+		}
+		results, err := n.backend.Search(call.Source, call.Query, time.Unix(0, call.NowNano))
+		if err != nil {
+			n.mu.Lock()
+			n.stats.EngineErrors++
+			n.mu.Unlock()
+			return nil, err
+		}
+		return json.Marshal(results)
+	})
+}
+
+type engineCall struct {
+	Source  string `json:"source"`
+	Query   string `json:"query"`
+	NowNano int64  `json:"nowNano"`
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Marshalling plain structs of strings/ints cannot fail; a failure
+		// here is a programming error.
+		panic(err)
+	}
+	return b
+}
+
+// ID returns the node identity.
+func (n *Node) ID() string { return n.id }
+
+// Enclave exposes the node's enclave (for stats and ablations).
+func (n *Node) Enclave() *enclave.Enclave { return n.encl }
+
+// Table returns the enclave past-query table's length; the content itself is
+// enclave state and not exposed.
+func (n *Node) TableLen() int { return n.state.table.Len() }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// BootstrapTable fills the past-query table (Google-Trends bootstrap, §V-D).
+func (n *Node) BootstrapTable(queries []string) {
+	n.state.table.AddAll(queries)
+}
+
+// admitSession installs a responder-side session (called by the network
+// after mutual attestation).
+func (n *Node) admitSession(peer string, sess *securechan.Session) {
+	n.state.mu.Lock()
+	defer n.state.mu.Unlock()
+	n.state.sessions[peer] = sess
+}
+
+// handleForward is the host-side entry point of the relay: it passes the
+// encrypted request through the call gate.
+func (n *Node) handleForward(from string, payload []byte, now time.Time) ([]byte, error) {
+	n.mu.Lock()
+	n.stats.Relayed++
+	n.mu.Unlock()
+	return n.encl.Call("forward", mustJSON(struct {
+		From    string `json:"from"`
+		Payload []byte `json:"payload"`
+		NowNano int64  `json:"nowNano"`
+	}{from, payload, now.UnixNano()}))
+}
+
+// Search runs the full CYCLOSA protection flow for a local user query
+// (Fig 4): sensitivity assessment, adaptive k, fake-query selection, per-path
+// forwarding, response filtering.
+func (n *Node) Search(query string, now time.Time) (*SearchResult, error) {
+	assessment := sensitivity.Assessment{Query: query}
+	if n.analyzer != nil {
+		assessment = n.analyzer.Assess(query)
+		n.analyzer.RecordQuery(query)
+	}
+	k := assessment.K
+
+	// Pick k+1 distinct relays; shrink k when the view is too small.
+	relays := n.peers.Sample(k + 1)
+	if len(relays) == 0 {
+		return nil, ErrNoPeers
+	}
+	if len(relays) < k+1 {
+		k = len(relays) - 1
+	}
+
+	// One fake query per fake relay, drawn from the enclave table; the table
+	// can run dry right after bootstrap.
+	n.mu.Lock()
+	fakes := n.state.table.Sample(n.rng, k)
+	realIdx := n.rng.Intn(k + 1)
+	n.mu.Unlock()
+	if len(fakes) < k {
+		k = len(fakes)
+		if realIdx > k {
+			realIdx = k
+		}
+		relays = relays[:k+1]
+	}
+
+	res := &SearchResult{Assessment: assessment, K: k}
+
+	// Client-side dispatch cost: serializing and encrypting each of the k+1
+	// requests is sequential work in the extension (this is why latency
+	// grows with k, Fig 8b); the network round trips then proceed in
+	// parallel, and only the real query's path delays the user.
+	res.Latency = time.Duration(k+1) * n.net.clientSendCost
+
+	type outcome struct {
+		real        bool
+		reply       *forwardResponse
+		usedRelay   string
+		pathLatency time.Duration
+		err         error
+	}
+	outcomes := make(chan outcome, k+1)
+	var wg sync.WaitGroup
+	fakeIdx := 0
+	for i := 0; i <= k; i++ {
+		q := query
+		if i != realIdx {
+			q = fakes[fakeIdx]
+			fakeIdx++
+		}
+		relay := string(relays[i])
+		isReal := i == realIdx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reply, usedRelay, pathLatency, err := n.forwardWithRetry(relay, q, now, relays)
+			outcomes <- outcome{real: isReal, reply: reply, usedRelay: usedRelay, pathLatency: pathLatency, err: err}
+		}()
+	}
+	wg.Wait()
+	close(outcomes)
+
+	var realErr error
+	for o := range outcomes {
+		if !o.real {
+			if o.err == nil {
+				n.mu.Lock()
+				n.stats.FakesSent++
+				n.mu.Unlock()
+			}
+			continue // responses to fake queries are silently dropped
+		}
+		// Real query: its path latency dominates the user-visible delay.
+		res.Latency += o.pathLatency
+		res.RealRelay = o.usedRelay
+		switch {
+		case o.err != nil:
+			realErr = fmt.Errorf("%w: %v", ErrRelayFailed, o.err)
+		case o.reply.EngineError != "":
+			res.EngineError = errors.New(o.reply.EngineError)
+		default:
+			res.Results = o.reply.Results
+		}
+	}
+	if realErr != nil {
+		return res, realErr
+	}
+
+	n.mu.Lock()
+	n.stats.Searches++
+	n.mu.Unlock()
+	return res, nil
+}
+
+// forwardWithRetry forwards one query to relay, retrying over replacement
+// peers when relays are unresponsive; failed relays are blacklisted and each
+// failed attempt costs the relay timeout.
+func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rps.NodeID) (*forwardResponse, string, time.Duration, error) {
+	var total time.Duration
+	tried := map[string]struct{}{}
+	for _, e := range exclude {
+		tried[string(e)] = struct{}{}
+	}
+	current := relay
+	for attempt := 0; attempt < 3; attempt++ {
+		reply, lat, err := n.net.forward(n, current, query, now)
+		total += lat
+		if err == nil {
+			return reply, current, total, nil
+		}
+		if !errors.Is(err, ErrRelayUnavailable) {
+			return nil, current, total, err
+		}
+		// Unresponsive relay: pay the timeout, blacklist, pick another.
+		total += n.relayTimeout
+		n.peers.Blacklist(rps.NodeID(current))
+		n.mu.Lock()
+		n.stats.Blacklisted++
+		n.mu.Unlock()
+		next := ""
+		for _, cand := range n.peers.Sample(8) {
+			if _, used := tried[string(cand)]; !used {
+				next = string(cand)
+				break
+			}
+		}
+		if next == "" {
+			return nil, current, total, ErrNoPeers
+		}
+		tried[next] = struct{}{}
+		current = next
+	}
+	return nil, current, total, ErrRelayUnavailable
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Sealed table persistence: a node can persist its enclave-resident
+// past-query table across restarts without ever exposing the queries to the
+// host. The table is serialized inside the enclave and sealed under the
+// measurement-derived key (SGX's MRENCLAVE sealing policy), so the host
+// stores only ciphertext and only the same enclave identity on the same
+// platform can restore it. This removes the cold-start dependency on the
+// trending bootstrap after the first session (§V-D).
+
+// SealTable serializes and seals the past-query table inside the enclave,
+// returning the ciphertext blob for host-side storage.
+func (n *Node) SealTable() ([]byte, error) {
+	out, err := n.encl.Call("sealTable", nil)
+	if err != nil {
+		return nil, fmt.Errorf("seal table: %w", err)
+	}
+	return out, nil
+}
+
+// RestoreTable unseals a blob produced by SealTable and loads the queries
+// into the table. It fails if the blob was sealed by a different enclave
+// identity or tampered with.
+func (n *Node) RestoreTable(blob []byte) error {
+	if _, err := n.encl.Call("restoreTable", blob); err != nil {
+		return fmt.Errorf("restore table: %w", err)
+	}
+	return nil
+}
+
+// registerSealECalls installs the table persistence ecalls.
+func (n *Node) registerSealECalls() {
+	n.encl.RegisterECall("sealTable", func([]byte) ([]byte, error) {
+		// Snapshot the table inside the enclave.
+		entries := n.state.table.Snapshot()
+		plain, err := json.Marshal(entries)
+		if err != nil {
+			return nil, fmt.Errorf("marshal table: %w", err)
+		}
+		return n.encl.Seal(plain)
+	})
+	n.encl.RegisterECall("restoreTable", func(blob []byte) ([]byte, error) {
+		plain, err := n.encl.Unseal(blob)
+		if err != nil {
+			return nil, err
+		}
+		var entries []string
+		if err := json.Unmarshal(plain, &entries); err != nil {
+			return nil, fmt.Errorf("unmarshal table: %w", err)
+		}
+		n.state.table.AddAll(entries)
+		return nil, nil
+	})
+}

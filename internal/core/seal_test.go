@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSealRestoreTable(t *testing.T) {
+	w := getWorld(t)
+	net := newTestNetwork(t, 6, w, 0)
+	ids := net.NodeIDs()
+	node := net.Node(ids[0])
+	if node.TableLen() != 24 {
+		t.Fatalf("bootstrap table = %d", node.TableLen())
+	}
+
+	blob, err := node.SealTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sealed blob must not leak the table contents in plaintext.
+	for _, q := range node.state.table.Snapshot() {
+		if len(q) >= 4 && bytes.Contains(blob, []byte(q)) {
+			t.Fatalf("sealed blob contains plaintext query %q", q)
+		}
+	}
+
+	// A fresh node (same enclave identity, different platform) cannot
+	// restore the blob: sealing is platform+measurement bound.
+	other := net.Node(ids[1])
+	if err := other.RestoreTable(blob); err == nil {
+		t.Fatal("cross-platform restore should fail")
+	}
+
+	// The sealing node itself restores (e.g. after a restart that kept its
+	// platform and enclave identity): entries are re-added.
+	before := node.TableLen()
+	if err := node.RestoreTable(blob); err != nil {
+		t.Fatal(err)
+	}
+	if node.TableLen() != before+24 {
+		t.Errorf("restored table = %d, want %d", node.TableLen(), before+24)
+	}
+
+	// Tampered blobs are rejected.
+	blob[len(blob)-1] ^= 0xff
+	if err := node.RestoreTable(blob); err == nil {
+		t.Fatal("tampered restore should fail")
+	}
+}
+
+func TestTableSnapshot(t *testing.T) {
+	tbl := NewPastQueryTable(4, nil)
+	tbl.AddAll([]string{"a", "b"})
+	snap := tbl.Snapshot()
+	if len(snap) != 2 || snap[0] != "a" || snap[1] != "b" {
+		t.Errorf("snapshot = %v", snap)
+	}
+	// Snapshot is a copy: mutating it does not affect the table.
+	snap[0] = "mutated"
+	if tbl.Snapshot()[0] != "a" {
+		t.Error("snapshot aliases internal storage")
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cyclosa/internal/enclave"
+)
+
+func TestPastQueryTableBasics(t *testing.T) {
+	tbl := NewPastQueryTable(4, nil)
+	if tbl.Len() != 0 {
+		t.Fatal("new table not empty")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if tbl.Random(rng) != "" {
+		t.Error("empty table Random should be empty string")
+	}
+	if tbl.Sample(rng, 3) != nil {
+		t.Error("empty table Sample should be nil")
+	}
+	tbl.Add("q one")
+	tbl.Add("")
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (empty ignored)", tbl.Len())
+	}
+	if got := tbl.Random(rng); got != "q one" {
+		t.Errorf("Random = %q", got)
+	}
+}
+
+func TestPastQueryTableFIFOEviction(t *testing.T) {
+	tbl := NewPastQueryTable(3, nil)
+	tbl.AddAll([]string{"a", "b", "c"})
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	tbl.Add("d") // evicts "a"
+	if tbl.Len() != 3 {
+		t.Fatalf("Len after eviction = %d", tbl.Len())
+	}
+	rng := rand.New(rand.NewSource(2))
+	seen := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		seen[tbl.Random(rng)] = true
+	}
+	if seen["a"] {
+		t.Error("evicted entry still sampled")
+	}
+	for _, want := range []string{"b", "c", "d"} {
+		if !seen[want] {
+			t.Errorf("entry %q never sampled", want)
+		}
+	}
+	tbl.Add("e") // evicts "b"
+	for i := 0; i < 200; i++ {
+		if tbl.Random(rng) == "b" {
+			t.Fatal("second eviction failed")
+		}
+	}
+}
+
+func TestPastQueryTableSampleWithReplacement(t *testing.T) {
+	tbl := NewPastQueryTable(8, nil)
+	tbl.Add("only")
+	rng := rand.New(rand.NewSource(3))
+	s := tbl.Sample(rng, 5)
+	if len(s) != 5 {
+		t.Fatalf("Sample len = %d", len(s))
+	}
+	for _, q := range s {
+		if q != "only" {
+			t.Errorf("sample entry = %q", q)
+		}
+	}
+	if tbl.Sample(rng, 0) != nil {
+		t.Error("Sample(0) should be nil")
+	}
+}
+
+func TestPastQueryTableEPCAccounting(t *testing.T) {
+	epc := enclave.NewEPC(1 << 20)
+	tbl := NewPastQueryTable(2, epc)
+	tbl.Add("12345")      // 5 bytes
+	tbl.Add("1234567890") // 10 bytes
+	if epc.Used() != 15 {
+		t.Errorf("EPC used = %d, want 15", epc.Used())
+	}
+	if tbl.Bytes() != 15 {
+		t.Errorf("Bytes = %d, want 15", tbl.Bytes())
+	}
+	tbl.Add("123") // evicts "12345": 15 - 5 + 3 = 13
+	if epc.Used() != 13 {
+		t.Errorf("EPC used after eviction = %d, want 13", epc.Used())
+	}
+	if tbl.Bytes() != 13 {
+		t.Errorf("Bytes after eviction = %d, want 13", tbl.Bytes())
+	}
+}
+
+func TestPastQueryTableDefaultSize(t *testing.T) {
+	tbl := NewPastQueryTable(0, nil)
+	for i := 0; i < DefaultTableSize+10; i++ {
+		tbl.Add("query")
+	}
+	if tbl.Len() != DefaultTableSize {
+		t.Errorf("Len = %d, want %d", tbl.Len(), DefaultTableSize)
+	}
+}

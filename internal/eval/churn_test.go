@@ -1,0 +1,37 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChurnAvailability(t *testing.T) {
+	w := getWorld(t)
+	r, err := RunChurn(w, ChurnOptions{
+		Nodes:            24,
+		K:                2,
+		FailedFractions:  []float64{0, 0.25},
+		SearchesPerPoint: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	healthy, degraded := r.Points[0], r.Points[1]
+	if healthy.Availability < 0.99 {
+		t.Errorf("healthy availability = %.2f, want ~1.0", healthy.Availability)
+	}
+	// A quarter of the overlay dead: the decentralized design keeps the
+	// vast majority of searches completing.
+	if degraded.Availability < 0.8 {
+		t.Errorf("availability at 25%% churn = %.2f, want >= 0.8", degraded.Availability)
+	}
+	if healthy.MedianLatency <= 0 {
+		t.Error("no latency recorded")
+	}
+	if !strings.Contains(r.String(), "Availability") {
+		t.Error("render broken")
+	}
+}

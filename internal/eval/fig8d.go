@@ -1,0 +1,245 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"cyclosa/internal/baselines/xsearch"
+	"cyclosa/internal/searchengine"
+	"cyclosa/internal/stats"
+)
+
+// LoadBalancingResult reproduces Fig 8d: queries per node over a simulated
+// horizon for the 100 most active users, comparing the X-SEARCH central
+// proxy (which exceeds the engine's per-source limit and gets queries
+// rejected) with CYCLOSA's load spreading (every node stays far below the
+// limit).
+type LoadBalancingResult struct {
+	// Horizon is the simulated duration (paper: 90 minutes).
+	Horizon time.Duration
+	// BucketMinutes is the reporting granularity.
+	BucketMinutes int
+	// EngineLimitPerHour is the per-source rate limit.
+	EngineLimitPerHour float64
+	// K is the obfuscation level (paper: 3).
+	K int
+	// Users is the number of simulated users.
+	Users int
+	// MeanUserRatePerHour is the mean real-query rate (paper: 31.23 q/h).
+	MeanUserRatePerHour float64
+
+	// XSearchAdmitted[i] / XSearchRejected[i] count proxy queries per bucket.
+	XSearchAdmitted []int
+	XSearchRejected []int
+	// CyclosaPerNodeHourly is the distribution of per-node engine request
+	// rates (req/h) across CYCLOSA nodes over the horizon.
+	CyclosaPerNodeHourly []float64
+	// CyclosaRejected counts engine refusals in the CYCLOSA deployment.
+	CyclosaRejected int
+}
+
+// LoadBalancingOptions tunes the simulation.
+type LoadBalancingOptions struct {
+	// Horizon (default 90 minutes, the paper's x-axis).
+	Horizon time.Duration
+	// K fakes per query (default 3).
+	K int
+	// Users (default 100).
+	Users int
+	// EngineLimitPerHour (default 3000, the bot-protection budget).
+	EngineLimitPerHour float64
+	// BucketMinutes (default 10).
+	BucketMinutes int
+}
+
+// RunLoadBalancing replays Poisson query arrivals from the most active
+// users through both deployments against rate-limiting engines on a virtual
+// clock. The X-SEARCH proxy concentrates (k+1)× the full workload on one
+// engine source; CYCLOSA spreads the same total over all participating
+// nodes.
+func RunLoadBalancing(w *World, opts LoadBalancingOptions) (*LoadBalancingResult, error) {
+	if opts.Horizon == 0 {
+		opts.Horizon = 90 * time.Minute
+	}
+	if opts.K == 0 {
+		opts.K = 3
+	}
+	if opts.Users == 0 {
+		opts.Users = 100
+	}
+	if opts.EngineLimitPerHour == 0 {
+		opts.EngineLimitPerHour = 3000
+	}
+	if opts.BucketMinutes == 0 {
+		opts.BucketMinutes = 10
+	}
+
+	top := w.Log.TopActiveUsers(opts.Users)
+	if len(top) == 0 {
+		return nil, errors.New("fig8d: empty workload")
+	}
+	// Per-user rates scaled so the mean matches the paper's 31.23 q/h while
+	// preserving the empirical activity skew.
+	counts := w.Log.CountByUser()
+	total := 0
+	for _, u := range top {
+		total += counts[u]
+	}
+	const meanRate = 31.23
+	rates := make([]float64, len(top))
+	for i, u := range top {
+		rates[i] = float64(counts[u]) / float64(total) * meanRate * float64(len(top))
+	}
+
+	rng := rand.New(rand.NewSource(w.Cfg.Seed + 900))
+	start := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+	buckets := int(opts.Horizon.Minutes()) / opts.BucketMinutes
+
+	// Build the arrival schedule once (identical for both deployments).
+	type arrival struct {
+		at   time.Time
+		user int
+	}
+	var schedule []arrival
+	for ui, rate := range rates {
+		t := start
+		for {
+			// Poisson arrivals: exponential inter-arrival times.
+			gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Hour))
+			t = t.Add(gap)
+			if t.After(start.Add(opts.Horizon)) {
+				break
+			}
+			schedule = append(schedule, arrival{at: t, user: ui})
+		}
+	}
+	sort.Slice(schedule, func(i, j int) bool { return schedule[i].at.Before(schedule[j].at) })
+
+	res := &LoadBalancingResult{
+		Horizon:             opts.Horizon,
+		BucketMinutes:       opts.BucketMinutes,
+		EngineLimitPerHour:  opts.EngineLimitPerHour,
+		K:                   opts.K,
+		Users:               len(top),
+		MeanUserRatePerHour: meanRate,
+		XSearchAdmitted:     make([]int, buckets),
+		XSearchRejected:     make([]int, buckets),
+	}
+
+	pool := trainPool(w)
+	probe := w.Uni.Topics[0].Terms[0]
+
+	// X-SEARCH: one proxy source, OR groups of size k+1 count as one engine
+	// request but the bot detector sees the full obfuscated stream.
+	// (The paper counts the 10,500 req/h the proxy *induces*: real and fake
+	// queries; each OR group carries k+1 queries in one HTTP request, so we
+	// submit k+1 engine requests to model the induced load, as the paper's
+	// accounting does.)
+	xsEngine := w.FreshEngine(searchengine.Config{
+		RateLimitPerHour:     opts.EngineLimitPerHour,
+		BlockAfterViolations: 1 << 30, // throttle but never hard-ban, so the series continues
+	})
+	for _, a := range schedule {
+		b := bucketOf(a.at, start, opts.BucketMinutes, buckets)
+		for i := 0; i <= opts.K; i++ {
+			q := probe
+			if i > 0 {
+				q = pool[rng.Intn(len(pool))]
+			}
+			_, err := xsEngine.Search(xsearch.ProxySource, q, a.at)
+			switch {
+			case err == nil:
+				res.XSearchAdmitted[b]++
+			case errors.Is(err, searchengine.ErrRateLimited) || errors.Is(err, searchengine.ErrBlocked):
+				res.XSearchRejected[b]++
+			default:
+				return nil, fmt.Errorf("fig8d xsearch: %w", err)
+			}
+		}
+	}
+
+	// CYCLOSA: each query (real + k fakes) goes through a uniformly chosen
+	// relay node; every user runs a node, so there are len(top) relays.
+	cyEngine := w.FreshEngine(searchengine.Config{
+		RateLimitPerHour:     opts.EngineLimitPerHour,
+		BlockAfterViolations: 1 << 30,
+	})
+	perNode := make([]int, len(top))
+	for _, a := range schedule {
+		for i := 0; i <= opts.K; i++ {
+			q := probe
+			if i > 0 {
+				q = pool[rng.Intn(len(pool))]
+			}
+			relay := rng.Intn(len(top))
+			src := fmt.Sprintf("cyclosa-node-%03d", relay)
+			_, err := cyEngine.Search(src, q, a.at)
+			switch {
+			case err == nil:
+				perNode[relay]++
+			case errors.Is(err, searchengine.ErrRateLimited) || errors.Is(err, searchengine.ErrBlocked):
+				res.CyclosaRejected++
+			default:
+				return nil, fmt.Errorf("fig8d cyclosa: %w", err)
+			}
+		}
+	}
+	hours := opts.Horizon.Hours()
+	res.CyclosaPerNodeHourly = make([]float64, len(perNode))
+	for i, c := range perNode {
+		res.CyclosaPerNodeHourly[i] = float64(c) / hours
+	}
+	return res, nil
+}
+
+func bucketOf(at, start time.Time, bucketMinutes, buckets int) int {
+	b := int(at.Sub(start).Minutes()) / bucketMinutes
+	if b < 0 {
+		b = 0
+	}
+	if b >= buckets {
+		b = buckets - 1
+	}
+	return b
+}
+
+// XSearchHourlyInduced returns the proxy's induced request rate (admitted +
+// rejected, per hour).
+func (r *LoadBalancingResult) XSearchHourlyInduced() float64 {
+	total := 0
+	for i := range r.XSearchAdmitted {
+		total += r.XSearchAdmitted[i] + r.XSearchRejected[i]
+	}
+	return float64(total) / r.Horizon.Hours()
+}
+
+// CyclosaMaxPerNodeHourly returns the busiest node's engine rate.
+func (r *LoadBalancingResult) CyclosaMaxPerNodeHourly() float64 {
+	maxRate := 0.0
+	for _, v := range r.CyclosaPerNodeHourly {
+		if v > maxRate {
+			maxRate = v
+		}
+	}
+	return maxRate
+}
+
+// String renders Fig 8d.
+func (r *LoadBalancingResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8d: Query load vs engine limit (%d users, mean %.2f q/h, k=%d, limit %.0f req/h/source)\n",
+		r.Users, r.MeanUserRatePerHour, r.K, r.EngineLimitPerHour)
+	fmt.Fprintf(&b, "X-SEARCH proxy induces %.0f req/h from one source:\n", r.XSearchHourlyInduced())
+	for i := range r.XSearchAdmitted {
+		fmt.Fprintf(&b, "  %3d-%3d min: admitted %5d, rejected %5d\n",
+			i*r.BucketMinutes, (i+1)*r.BucketMinutes, r.XSearchAdmitted[i], r.XSearchRejected[i])
+	}
+	fmt.Fprintf(&b, "CYCLOSA per-node rate: mean %.1f req/h, max %.1f req/h, rejected %d\n",
+		stats.Mean(r.CyclosaPerNodeHourly), r.CyclosaMaxPerNodeHourly(), r.CyclosaRejected)
+	b.WriteString("(paper: X-SEARCH induces 10,500 req/h and is blocked; CYCLOSA stays ≈ 94 req/h/node)\n")
+	return b.String()
+}

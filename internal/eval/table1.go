@@ -1,0 +1,83 @@
+package eval
+
+import "cyclosa/internal/stats"
+
+// MechanismName identifies one of the six compared systems.
+type MechanismName string
+
+// The compared mechanisms, in the paper's column order.
+const (
+	MechTOR     MechanismName = "TOR"
+	MechTMN     MechanismName = "TrackMeNot"
+	MechGooPIR  MechanismName = "GooPIR"
+	MechPEAS    MechanismName = "PEAS"
+	MechXSearch MechanismName = "X-SEARCH"
+	MechCyclosa MechanismName = "CYCLOSA"
+)
+
+// AllMechanisms lists the compared systems in the paper's order.
+var AllMechanisms = []MechanismName{
+	MechTOR, MechTMN, MechGooPIR, MechPEAS, MechXSearch, MechCyclosa,
+}
+
+// Properties is one row of Table I: which of the four desirable properties a
+// mechanism provides.
+type Properties struct {
+	Unlinkability        bool
+	Indistinguishability bool
+	Accuracy             bool
+	Scalability          bool
+}
+
+// PropertyMatrix reproduces Table I: the qualitative comparison of private
+// Web search mechanisms. The entries follow §II's analysis: TOR gives
+// unlinkability and exact results but no obfuscation; TMN/GooPIR obfuscate
+// under the user's identity (TMN keeps real result pages intact, GooPIR's
+// OR-merge does not); PEAS and X-SEARCH combine both properties but filter
+// merged pages (accuracy ✗) and run on central proxies (scalability ✗);
+// CYCLOSA provides all four.
+func PropertyMatrix() map[MechanismName]Properties {
+	return map[MechanismName]Properties{
+		MechTOR:     {Unlinkability: true, Indistinguishability: false, Accuracy: true, Scalability: true},
+		MechTMN:     {Unlinkability: false, Indistinguishability: true, Accuracy: true, Scalability: true},
+		MechGooPIR:  {Unlinkability: false, Indistinguishability: true, Accuracy: false, Scalability: true},
+		MechPEAS:    {Unlinkability: true, Indistinguishability: true, Accuracy: false, Scalability: false},
+		MechXSearch: {Unlinkability: true, Indistinguishability: true, Accuracy: false, Scalability: false},
+		MechCyclosa: {Unlinkability: true, Indistinguishability: true, Accuracy: true, Scalability: true},
+	}
+}
+
+// RenderTable1 renders the property matrix as the paper's Table I.
+func RenderTable1() string {
+	matrix := PropertyMatrix()
+	tbl := &stats.Table{
+		Title:  "Table I: Comparison of private Web search mechanisms",
+		Header: []string{"Property", "TOR", "TMN", "GOOPIR", "PEAS", "X-SEARCH", "CYCLOSA"},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	rows := []struct {
+		name string
+		get  func(Properties) bool
+	}{
+		{"Unlinkability", func(p Properties) bool { return p.Unlinkability }},
+		{"Indistinguishability", func(p Properties) bool { return p.Indistinguishability }},
+		{"Accuracy", func(p Properties) bool { return p.Accuracy }},
+		{"Scalability", func(p Properties) bool { return p.Scalability }},
+	}
+	for _, row := range rows {
+		tbl.AddRow(row.name,
+			mark(row.get(matrix[MechTOR])),
+			mark(row.get(matrix[MechTMN])),
+			mark(row.get(matrix[MechGooPIR])),
+			mark(row.get(matrix[MechPEAS])),
+			mark(row.get(matrix[MechXSearch])),
+			mark(row.get(matrix[MechCyclosa])),
+		)
+	}
+	return tbl.String()
+}

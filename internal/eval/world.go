@@ -1,0 +1,225 @@
+// Package eval contains one experiment driver per table and figure of the
+// paper's evaluation (§VII, §VIII), plus the ablations called out in
+// DESIGN.md. Each driver returns a result struct that renders the same rows
+// or series the paper reports; cmd/cyclosa-bench and the root benchmark
+// suite regenerate everything from here.
+package eval
+
+import (
+	"fmt"
+
+	"cyclosa/internal/adversary"
+	"cyclosa/internal/lda"
+	"cyclosa/internal/queries"
+	"cyclosa/internal/searchengine"
+	"cyclosa/internal/sensitivity"
+	"cyclosa/internal/transport"
+	"cyclosa/internal/wordnet"
+)
+
+// WorldConfig sizes the shared experimental substrate.
+type WorldConfig struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// NumUsers is the workload cohort size (paper: 198).
+	NumUsers int
+	// MeanQueriesPerUser sets per-user activity (paper cohort: ~730; the
+	// default 120 keeps experiment runtimes practical while preserving the
+	// distribution shape).
+	MeanQueriesPerUser int
+	// EngineDocs is the synthetic web corpus size.
+	EngineDocs int
+	// LDADocs, LDATopics and LDAIterations size the LDA training run.
+	LDADocs       int
+	LDATopics     int
+	LDAIterations int
+	// LDATermsPerTopic is the thematic-vector width used when compiling the
+	// LDA dictionary.
+	LDATermsPerTopic int
+	// KMax is the maximum number of fake queries (paper: 7).
+	KMax int
+	// SensitiveTopics are the user-selected sensitive topics (paper's
+	// running example: sexuality; Table II is measured on it).
+	SensitiveTopics []string
+}
+
+func (c *WorldConfig) applyDefaults() {
+	if c.NumUsers == 0 {
+		c.NumUsers = 198
+	}
+	if c.MeanQueriesPerUser == 0 {
+		c.MeanQueriesPerUser = 120
+	}
+	if c.EngineDocs == 0 {
+		c.EngineDocs = 4000
+	}
+	if c.LDADocs == 0 {
+		c.LDADocs = 1200
+	}
+	if c.LDATopics == 0 {
+		c.LDATopics = 12
+	}
+	if c.LDAIterations == 0 {
+		c.LDAIterations = 60
+	}
+	if c.LDATermsPerTopic == 0 {
+		c.LDATermsPerTopic = 40
+	}
+	if c.KMax == 0 {
+		c.KMax = sensitivity.DefaultKMax
+	}
+	if len(c.SensitiveTopics) == 0 {
+		c.SensitiveTopics = []string{queries.TopicSex}
+	}
+}
+
+// World is the shared substrate of all experiments: the universe, the
+// workload with its train/test split, the lexical database, the trained LDA
+// models, the latency model and a search engine.
+type World struct {
+	Cfg     WorldConfig
+	Uni     *queries.Universe
+	Log     *queries.Log
+	Train   *queries.Log
+	Test    *queries.Log
+	WordNet *wordnet.Database
+	LDA     []*lda.Model
+	Engine  *searchengine.Engine
+	Model   *transport.Model
+}
+
+// NewWorld builds the substrate. Construction is deterministic in the seed.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	cfg.applyDefaults()
+	uni := queries.NewUniverse(queries.UniverseConfig{Seed: cfg.Seed})
+	log := queries.Generate(queries.GeneratorConfig{
+		Seed:               cfg.Seed,
+		Universe:           uni,
+		NumUsers:           cfg.NumUsers,
+		MeanQueriesPerUser: cfg.MeanQueriesPerUser,
+		// The paper's cohort exposes the selected sensitive subject
+		// (sexuality in §V-F); user profiles adopt the same topics the
+		// categorizer is trained for.
+		SensitiveTopicChoices: cfg.SensitiveTopics,
+	})
+	// The paper selects active users with at least one sensitive query
+	// (§VII-B); the generator gives every user a sensitive preference, so
+	// the filter is a light touch that mirrors the methodology.
+	log = log.FilterUsers(log.UsersWithSensitiveQuery())
+	train, test := log.Split(2.0 / 3.0)
+
+	db := wordnet.Build(uni, wordnet.BuildConfig{Seed: cfg.Seed})
+
+	var models []*lda.Model
+	for i, topic := range cfg.SensitiveTopics {
+		docs := queries.GenerateCorpus(uni, topic, queries.CorpusConfig{
+			Seed:      cfg.Seed + int64(i),
+			Documents: cfg.LDADocs,
+		})
+		m, err := lda.Train(docs, lda.Config{
+			Topics:     cfg.LDATopics,
+			Iterations: cfg.LDAIterations,
+			Seed:       cfg.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("train lda for %s: %w", topic, err)
+		}
+		models = append(models, m)
+	}
+
+	return &World{
+		Cfg:     cfg,
+		Uni:     uni,
+		Log:     log,
+		Train:   train,
+		Test:    test,
+		WordNet: db,
+		LDA:     models,
+		Engine:  searchengine.New(uni, searchengine.Config{Seed: cfg.Seed, NumDocs: cfg.EngineDocs}),
+		Model:   transport.DefaultModel(cfg.Seed),
+	}, nil
+}
+
+// DetectorKind selects a semantic categorizer variant (the rows of
+// Table II).
+type DetectorKind int
+
+// Detector variants.
+const (
+	DetectorWordNet DetectorKind = iota + 1
+	DetectorLDA
+	DetectorCombined
+)
+
+// String names the detector variant as in Table II.
+func (k DetectorKind) String() string {
+	switch k {
+	case DetectorWordNet:
+		return "WordNet"
+	case DetectorLDA:
+		return "LDA"
+	case DetectorCombined:
+		return "WordNet + LDA"
+	default:
+		return fmt.Sprintf("DetectorKind(%d)", int(k))
+	}
+}
+
+// NewDetector builds a detector of the given kind over the world's
+// substrate.
+func (w *World) NewDetector(kind DetectorKind) sensitivity.Detector {
+	switch kind {
+	case DetectorWordNet:
+		return sensitivity.NewWordNetDetector(w.WordNet, w.Cfg.SensitiveTopics)
+	case DetectorLDA:
+		return sensitivity.NewLDADetector(w.LDA, w.Cfg.LDATermsPerTopic)
+	default:
+		return sensitivity.NewCombinedDetector(w.WordNet, w.LDA, w.Cfg.LDATermsPerTopic, w.Cfg.SensitiveTopics)
+	}
+}
+
+// NewAnalyzerForUser builds a per-user analyzer whose linkability history is
+// primed with the user's training queries (the local profile of §V-A2).
+func (w *World) NewAnalyzerForUser(user string, kind DetectorKind) *sensitivity.Analyzer {
+	link := sensitivity.NewLinkability(0)
+	for _, q := range w.Train.UserQueries(user) {
+		link.Add(q.Text)
+	}
+	return sensitivity.NewAnalyzer(w.NewDetector(kind), link, w.Cfg.KMax)
+}
+
+// FreshEngine builds an isolated engine (same corpus seed) so an experiment
+// can observe or rate-limit without polluting the shared one.
+func (w *World) FreshEngine(cfg searchengine.Config) *searchengine.Engine {
+	if cfg.Seed == 0 {
+		cfg.Seed = w.Cfg.Seed
+	}
+	if cfg.NumDocs == 0 {
+		cfg.NumDocs = w.Cfg.EngineDocs
+	}
+	return searchengine.New(w.Uni, cfg)
+}
+
+// NewAdversary builds a SimAttack instance from the training split.
+func (w *World) NewAdversary() *adversary.SimAttack {
+	return adversary.New(w.Train, adversary.Config{})
+}
+
+// TestSample returns up to n test queries, spread across users in log
+// order (deterministic).
+func (w *World) TestSample(n int) []queries.Query {
+	if n <= 0 || n >= w.Test.Len() {
+		out := make([]queries.Query, w.Test.Len())
+		copy(out, w.Test.Queries)
+		return out
+	}
+	out := make([]queries.Query, 0, n)
+	stride := w.Test.Len() / n
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < w.Test.Len() && len(out) < n; i += stride {
+		out = append(out, w.Test.Queries[i])
+	}
+	return out
+}

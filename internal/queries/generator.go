@@ -1,0 +1,302 @@
+package queries
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GeneratorConfig controls workload generation.
+type GeneratorConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Universe is the shared topic/term model; if nil a default universe is
+	// generated from Seed.
+	Universe *Universe
+	// NumUsers is the number of users (default 198, the paper's cohort).
+	NumUsers int
+	// MeanQueriesPerUser sets the mean of the heavy-tailed per-user activity
+	// (default 150; the paper's cohort averages ~730 queries, but 150 keeps
+	// tests fast while preserving the distributional shape — experiments can
+	// raise it).
+	MeanQueriesPerUser int
+	// TopicsPerUser is the size of each user's preferred-topic set
+	// (default 4).
+	TopicsPerUser int
+	// SensitiveUserFraction is the fraction of users whose profile includes
+	// at least one sensitive topic (default 1.0: the paper selects users
+	// with at least one sensitive query).
+	SensitiveUserFraction float64
+	// SensitiveTopicChoices restricts which sensitive topics users adopt
+	// (default: all of the universe's sensitive topics). The paper's
+	// experiments consider sexuality as the sensitive subject (§V-F), which
+	// corresponds to []string{"sex"}.
+	SensitiveTopicChoices []string
+	// SensitiveQueryWeight is the relative weight of a sensitive preferred
+	// topic within a user's profile (default 0.33, calibrated so ~15.7% of
+	// queries are sensitive, matching the crowd-sourcing campaign §VII-C:
+	// general topics have mean weight 1.0; topic mass w/(w+3) ≈ 0.10 plus the
+	// personal-term leakage of sensitive vocabulary into general queries
+	// lands near the paper's fraction).
+	SensitiveQueryWeight float64
+	// PersonalTermReuse is the probability that a query includes one of the
+	// user's idiosyncratic personal terms (default 0.55). Personal-term
+	// reuse is what enables re-identification of unprotected queries.
+	PersonalTermReuse float64
+	// PersonalTermsPerUser is each user's pool of idiosyncratic terms
+	// (default 12).
+	PersonalTermsPerUser int
+	// Start is the beginning of the log window (default 2006-03-01, the AOL
+	// window); the log spans three months.
+	Start time.Time
+}
+
+func (c *GeneratorConfig) applyDefaults() {
+	if c.NumUsers == 0 {
+		c.NumUsers = 198
+	}
+	if c.MeanQueriesPerUser == 0 {
+		c.MeanQueriesPerUser = 150
+	}
+	if c.TopicsPerUser == 0 {
+		c.TopicsPerUser = 4
+	}
+	if c.SensitiveUserFraction == 0 {
+		c.SensitiveUserFraction = 1.0
+	}
+	if c.SensitiveQueryWeight == 0 {
+		c.SensitiveQueryWeight = 0.33
+	}
+	if c.PersonalTermReuse == 0 {
+		c.PersonalTermReuse = 0.55
+	}
+	if c.PersonalTermsPerUser == 0 {
+		c.PersonalTermsPerUser = 8
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+	}
+}
+
+// userProfile is the generator-side model of one user.
+type userProfile struct {
+	name          string
+	topics        []string  // preferred topics
+	weights       []float64 // cumulative weights over topics
+	personalTerms []string
+	numQueries    int
+}
+
+// Generate produces a synthetic query log.
+func Generate(cfg GeneratorConfig) *Log {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	uni := cfg.Universe
+	if uni == nil {
+		uni = NewUniverse(UniverseConfig{Seed: cfg.Seed})
+	}
+
+	profiles := makeProfiles(cfg, rng, uni)
+
+	// Ground-truth sensitivity vocabulary: the unambiguous terms of the
+	// sensitive topics in play. A query is sensitive when its generating
+	// topic is sensitive OR it contains such a term — a crowd worker labels
+	// by what the query says, not by which interest produced it (§VII-C).
+	// Polysemous terms are excluded: an ambiguous word inside a general
+	// query reads as its general sense.
+	sensVocab := make(map[string]struct{})
+	sensTopics := cfg.SensitiveTopicChoices
+	if len(sensTopics) == 0 {
+		sensTopics = uni.SensitiveTopicNames()
+	}
+	for _, name := range sensTopics {
+		for _, term := range uni.Topic(name).Terms {
+			if len(uni.TopicsOf(term)) == 1 {
+				sensVocab[term] = struct{}{}
+			}
+		}
+	}
+
+	log := &Log{}
+	window := 90 * 24 * time.Hour
+	id := 0
+	for _, p := range profiles {
+		for i := 0; i < p.numQueries; i++ {
+			topic := p.pickTopic(rng)
+			text := synthesizeQuery(rng, uni, topic, p, cfg.PersonalTermReuse)
+			sensitive := uni.Topic(topic).Sensitive
+			if !sensitive {
+				for _, term := range strings.Fields(text) {
+					if _, ok := sensVocab[term]; ok {
+						sensitive = true
+						break
+					}
+				}
+			}
+			at := cfg.Start.Add(time.Duration(rng.Int63n(int64(window))))
+			log.Queries = append(log.Queries, Query{
+				ID:        id,
+				User:      p.name,
+				Text:      text,
+				Topic:     topic,
+				Sensitive: sensitive,
+				Time:      at,
+			})
+			id++
+		}
+	}
+	// Order the whole log chronologically, as a captured log would be.
+	sortQueriesByTime(log.Queries)
+	for i := range log.Queries {
+		log.Queries[i].ID = i
+	}
+	return log
+}
+
+func makeProfiles(cfg GeneratorConfig, rng *rand.Rand, uni *Universe) []*userProfile {
+	sensNames := cfg.SensitiveTopicChoices
+	if len(sensNames) == 0 {
+		sensNames = uni.SensitiveTopicNames()
+	}
+	var genNames []string
+	for _, t := range uni.Topics {
+		if !t.Sensitive {
+			genNames = append(genNames, t.Name)
+		}
+	}
+
+	profiles := make([]*userProfile, 0, cfg.NumUsers)
+	for i := 0; i < cfg.NumUsers; i++ {
+		p := &userProfile{name: fmt.Sprintf("user%03d", i)}
+
+		hasSensitive := rng.Float64() < cfg.SensitiveUserFraction
+		nTopics := cfg.TopicsPerUser
+		picked := make(map[string]struct{}, nTopics)
+		var weights []float64
+		if hasSensitive {
+			s := sensNames[rng.Intn(len(sensNames))]
+			p.topics = append(p.topics, s)
+			picked[s] = struct{}{}
+			weights = append(weights, cfg.SensitiveQueryWeight)
+		}
+		for len(p.topics) < nTopics {
+			g := genNames[rng.Intn(len(genNames))]
+			if _, dup := picked[g]; dup {
+				continue
+			}
+			picked[g] = struct{}{}
+			p.topics = append(p.topics, g)
+			weights = append(weights, 0.5+rng.Float64()) // uneven general interests
+		}
+		// Normalize to a cumulative distribution.
+		total := 0.0
+		for _, w := range weights {
+			total += w
+		}
+		cum := 0.0
+		p.weights = make([]float64, len(weights))
+		for j, w := range weights {
+			cum += w / total
+			p.weights[j] = cum
+		}
+
+		// Personal terms: drawn from the user's preferred topics in
+		// proportion to the profile weights (a user's habitual terms follow
+		// their actual interests), reused far more often than base rate.
+		for j := 0; j < cfg.PersonalTermsPerUser; j++ {
+			topic := uni.Topic(p.pickTopic(rng))
+			p.personalTerms = append(p.personalTerms, topic.Terms[rng.Intn(len(topic.Terms))])
+		}
+
+		// Heavy-tailed activity: Pareto-like with mean ~MeanQueriesPerUser.
+		p.numQueries = heavyTailedCount(rng, cfg.MeanQueriesPerUser)
+		profiles = append(profiles, p)
+	}
+	return profiles
+}
+
+// heavyTailedCount draws a Pareto(alpha=2)-distributed count with the given
+// mean, clamped to [3, 40*mean].
+func heavyTailedCount(rng *rand.Rand, mean int) int {
+	const alpha = 2.0
+	xm := float64(mean) * (alpha - 1) / alpha // Pareto mean = alpha*xm/(alpha-1)
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	x := xm / math.Pow(u, 1/alpha)
+	n := int(x)
+	if n < 3 {
+		n = 3
+	}
+	if n > 40*mean {
+		n = 40 * mean
+	}
+	return n
+}
+
+func (p *userProfile) pickTopic(rng *rand.Rand) string {
+	x := rng.Float64()
+	for i, cum := range p.weights {
+		if x <= cum {
+			return p.topics[i]
+		}
+	}
+	return p.topics[len(p.topics)-1]
+}
+
+// synthesizeQuery builds a query string of 1-4 terms: topic terms drawn with
+// a Zipf-like bias toward characteristic terms, a chance of one background
+// term, and the user's idiosyncratic personal terms. Users tend to re-use
+// personal term *pairs* across queries — the recurring patterns that make
+// re-identification of unprotected traffic possible (the AOL property the
+// paper's 36% TOR baseline rests on).
+func synthesizeQuery(rng *rand.Rand, uni *Universe, topicName string, p *userProfile, personalReuse float64) string {
+	topic := uni.Topic(topicName)
+	n := 1 + rng.Intn(3) // 1-3 topic/background terms
+	terms := make([]string, 0, n+2)
+
+	if rng.Float64() < personalReuse {
+		first := rng.Intn(len(p.personalTerms))
+		terms = append(terms, p.personalTerms[first])
+		if rng.Float64() < 0.6 {
+			// Personal terms come in habitual pairs: the companion index is
+			// deterministic given the first, so the same pair recurs.
+			second := (first + 1) % len(p.personalTerms)
+			terms = append(terms, p.personalTerms[second])
+		}
+	}
+	for len(terms) < n {
+		if rng.Float64() < 0.18 && len(uni.Background) > 0 {
+			terms = append(terms, uni.Background[rng.Intn(len(uni.Background))])
+			continue
+		}
+		terms = append(terms, topic.Terms[zipfIndex(rng, len(topic.Terms))])
+	}
+	return strings.Join(terms, " ")
+}
+
+// zipfIndex draws an index in [0, n) with probability proportional to
+// 1/(i+1): characteristic (low-index) terms dominate.
+func zipfIndex(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// idx = n^U - 1 is a cheap Zipf(s≈1)-like draw favouring low indices.
+	u := rng.Float64()
+	idx := int(math.Pow(float64(n), u)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+func sortQueriesByTime(qs []Query) {
+	sort.SliceStable(qs, func(i, j int) bool { return qs[i].Time.Before(qs[j].Time) })
+}

@@ -1,0 +1,190 @@
+// Package queries models web-search query logs and generates the synthetic
+// AOL-like workload used throughout the reproduction.
+//
+// The paper evaluates CYCLOSA on the AOL query log (21M queries, 650k users),
+// focusing on the most active users with at least one sensitive query and
+// splitting each user's history into a training set (adversary prior
+// knowledge, 2/3) and a testing set (protected queries, 1/3). That dataset is
+// not redistributable, so this package generates a workload with the same
+// structural properties SimAttack and the sensitivity analysis depend on:
+//
+//   - a shared topic/term universe with sensitive topics (health, politics,
+//     sex, religion) and general topics;
+//   - users with stable topical profiles and idiosyncratic personal terms
+//     that they re-use across queries (what makes re-identification work);
+//   - heavy-tailed per-user activity;
+//   - timestamps spanning a three-month window.
+//
+// All generation is driven by an explicit seed and fully deterministic.
+package queries
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Query is a single search query with its ground-truth metadata. Ground truth
+// (Topic, Sensitive) is available only to the evaluation harness; protection
+// mechanisms and adversaries see only User, Text and Time.
+type Query struct {
+	// ID uniquely identifies the query within its Log.
+	ID int
+	// User identifies the issuing user.
+	User string
+	// Text is the raw query string.
+	Text string
+	// Topic is the ground-truth topic that generated the query.
+	Topic string
+	// Sensitive is the ground-truth sensitivity label (the generating topic
+	// is one of the universe's sensitive topics).
+	Sensitive bool
+	// Time is the instant the query was issued.
+	Time time.Time
+}
+
+// Log is an ordered collection of queries from a set of users.
+type Log struct {
+	Queries []Query
+}
+
+// Len returns the number of queries in the log.
+func (l *Log) Len() int { return len(l.Queries) }
+
+// Users returns the distinct user identifiers in the log, sorted.
+func (l *Log) Users() []string {
+	seen := make(map[string]struct{})
+	for _, q := range l.Queries {
+		seen[q.User] = struct{}{}
+	}
+	users := make([]string, 0, len(seen))
+	for u := range seen {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	return users
+}
+
+// UserQueries returns the queries of user u in log order.
+func (l *Log) UserQueries(u string) []Query {
+	var out []Query
+	for _, q := range l.Queries {
+		if q.User == u {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// CountByUser returns the number of queries per user.
+func (l *Log) CountByUser() map[string]int {
+	counts := make(map[string]int)
+	for _, q := range l.Queries {
+		counts[q.User]++
+	}
+	return counts
+}
+
+// TopActiveUsers returns the n users with the most queries, most active
+// first. Ties break by user name for determinism. If fewer than n users
+// exist, all are returned.
+func (l *Log) TopActiveUsers(n int) []string {
+	counts := l.CountByUser()
+	users := make([]string, 0, len(counts))
+	for u := range counts {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool {
+		if counts[users[i]] != counts[users[j]] {
+			return counts[users[i]] > counts[users[j]]
+		}
+		return users[i] < users[j]
+	})
+	if n > len(users) {
+		n = len(users)
+	}
+	return users[:n]
+}
+
+// FilterUsers returns a new Log containing only queries from the given users.
+func (l *Log) FilterUsers(users []string) *Log {
+	keep := make(map[string]struct{}, len(users))
+	for _, u := range users {
+		keep[u] = struct{}{}
+	}
+	out := &Log{}
+	for _, q := range l.Queries {
+		if _, ok := keep[q.User]; ok {
+			out.Queries = append(out.Queries, q)
+		}
+	}
+	return out
+}
+
+// Split partitions the log per user and chronologically: the first trainFrac
+// of each user's queries form the training log (the adversary's prior
+// knowledge), the remainder the testing log (the protected queries). The
+// paper uses trainFrac = 2/3.
+func (l *Log) Split(trainFrac float64) (train, test *Log) {
+	if trainFrac < 0 {
+		trainFrac = 0
+	}
+	if trainFrac > 1 {
+		trainFrac = 1
+	}
+	train, test = &Log{}, &Log{}
+	perUser := make(map[string][]Query)
+	order := make([]string, 0)
+	for _, q := range l.Queries {
+		if _, ok := perUser[q.User]; !ok {
+			order = append(order, q.User)
+		}
+		perUser[q.User] = append(perUser[q.User], q)
+	}
+	for _, u := range order {
+		qs := perUser[u]
+		sort.SliceStable(qs, func(i, j int) bool { return qs[i].Time.Before(qs[j].Time) })
+		cut := int(float64(len(qs)) * trainFrac)
+		train.Queries = append(train.Queries, qs[:cut]...)
+		test.Queries = append(test.Queries, qs[cut:]...)
+	}
+	return train, test
+}
+
+// SensitiveFraction returns the fraction of queries with the ground-truth
+// sensitive label, or 0 for an empty log.
+func (l *Log) SensitiveFraction() float64 {
+	if len(l.Queries) == 0 {
+		return 0
+	}
+	n := 0
+	for _, q := range l.Queries {
+		if q.Sensitive {
+			n++
+		}
+	}
+	return float64(n) / float64(len(l.Queries))
+}
+
+// UsersWithSensitiveQuery returns the users that issued at least one
+// sensitive query, mirroring the paper's user-selection methodology (§VII-B).
+func (l *Log) UsersWithSensitiveQuery() []string {
+	seen := make(map[string]struct{})
+	for _, q := range l.Queries {
+		if q.Sensitive {
+			seen[q.User] = struct{}{}
+		}
+	}
+	users := make([]string, 0, len(seen))
+	for u := range seen {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	return users
+}
+
+// String summarizes the log.
+func (l *Log) String() string {
+	return fmt.Sprintf("log{queries=%d users=%d sensitive=%.2f%%}",
+		l.Len(), len(l.Users()), 100*l.SensitiveFraction())
+}

@@ -1,0 +1,238 @@
+package queries
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testLog(t *testing.T) *Log {
+	t.Helper()
+	return Generate(GeneratorConfig{Seed: 1, NumUsers: 30, MeanQueriesPerUser: 40})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GeneratorConfig{Seed: 7, NumUsers: 10, MeanQueriesPerUser: 20})
+	b := Generate(GeneratorConfig{Seed: 7, NumUsers: 10, MeanQueriesPerUser: 20})
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatalf("query %d differs: %+v vs %+v", i, a.Queries[i], b.Queries[i])
+		}
+	}
+	c := Generate(GeneratorConfig{Seed: 8, NumUsers: 10, MeanQueriesPerUser: 20})
+	if c.Len() == a.Len() && c.Queries[0].Text == a.Queries[0].Text {
+		t.Error("different seeds produced identical logs")
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	log := testLog(t)
+	if got := len(log.Users()); got != 30 {
+		t.Errorf("users = %d, want 30", got)
+	}
+	if log.Len() < 30*3 {
+		t.Errorf("too few queries: %d", log.Len())
+	}
+	for _, q := range log.Queries[:50] {
+		if q.Text == "" || q.Topic == "" || q.User == "" {
+			t.Fatalf("incomplete query: %+v", q)
+		}
+		if len(strings.Fields(q.Text)) > 5 {
+			t.Errorf("query too long: %q", q.Text)
+		}
+	}
+	// Chronological ordering with re-assigned IDs.
+	for i := 1; i < log.Len(); i++ {
+		if log.Queries[i].Time.Before(log.Queries[i-1].Time) {
+			t.Fatal("log not chronologically ordered")
+		}
+		if log.Queries[i].ID != i {
+			t.Fatal("IDs not reassigned in order")
+		}
+	}
+}
+
+func TestSensitiveLabels(t *testing.T) {
+	uni := NewUniverse(UniverseConfig{Seed: 3})
+	log := Generate(GeneratorConfig{Seed: 3, Universe: uni, NumUsers: 20, MeanQueriesPerUser: 30})
+	sensVocab := make(map[string]struct{})
+	for _, name := range uni.SensitiveTopicNames() {
+		for _, term := range uni.Topic(name).Terms {
+			if len(uni.TopicsOf(term)) == 1 {
+				sensVocab[term] = struct{}{}
+			}
+		}
+	}
+	for _, q := range log.Queries {
+		// Every sensitive-topic query is labelled sensitive.
+		if uni.Topic(q.Topic).Sensitive && !q.Sensitive {
+			t.Fatalf("sensitive-topic query not labelled: %+v", q)
+		}
+		// A general query is labelled sensitive iff it contains an
+		// unambiguous sensitive term (crowd-perception ground truth).
+		if !uni.Topic(q.Topic).Sensitive {
+			leak := false
+			for _, term := range strings.Fields(q.Text) {
+				if _, ok := sensVocab[term]; ok {
+					leak = true
+					break
+				}
+			}
+			if q.Sensitive != leak {
+				t.Fatalf("label mismatch for %+v (leak=%v)", q, leak)
+			}
+		}
+	}
+}
+
+func TestSensitiveFractionNearPaper(t *testing.T) {
+	// The paper's crowd campaign found 15.74% of queries sensitive; the
+	// generator is calibrated to land in a plausible band around that.
+	log := Generate(GeneratorConfig{Seed: 11, NumUsers: 200, MeanQueriesPerUser: 100})
+	f := log.SensitiveFraction()
+	if f < 0.08 || f > 0.30 {
+		t.Errorf("sensitive fraction = %.3f, want within [0.08, 0.30]", f)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	log := testLog(t)
+	train, test := log.Split(2.0 / 3.0)
+	if train.Len()+test.Len() != log.Len() {
+		t.Fatalf("split loses queries: %d + %d != %d", train.Len(), test.Len(), log.Len())
+	}
+	for _, u := range log.Users() {
+		tr, te := len(train.UserQueries(u)), len(test.UserQueries(u))
+		total := tr + te
+		if total == 0 {
+			continue
+		}
+		wantTrain := int(float64(total) * 2.0 / 3.0)
+		if tr != wantTrain {
+			t.Errorf("user %s train size = %d, want %d", u, tr, wantTrain)
+		}
+		// Training queries precede testing queries chronologically.
+		trQ, teQ := train.UserQueries(u), test.UserQueries(u)
+		if tr > 0 && te > 0 && trQ[tr-1].Time.After(teQ[0].Time) {
+			t.Errorf("user %s: train overlaps test in time", u)
+		}
+	}
+}
+
+func TestSplitEdgeCases(t *testing.T) {
+	log := testLog(t)
+	train, test := log.Split(0)
+	if train.Len() != 0 || test.Len() != log.Len() {
+		t.Error("split(0) should put everything in test")
+	}
+	train, test = log.Split(1)
+	if test.Len() != 0 || train.Len() != log.Len() {
+		t.Error("split(1) should put everything in train")
+	}
+	train, test = log.Split(-1)
+	if train.Len() != 0 {
+		t.Error("split(-1) should clamp to 0")
+	}
+	train, test = log.Split(2)
+	if test.Len() != 0 {
+		t.Error("split(2) should clamp to 1")
+	}
+	empty := &Log{}
+	train, test = empty.Split(0.5)
+	if train.Len() != 0 || test.Len() != 0 {
+		t.Error("empty split should be empty")
+	}
+}
+
+func TestTopActiveUsers(t *testing.T) {
+	log := testLog(t)
+	top := log.TopActiveUsers(5)
+	if len(top) != 5 {
+		t.Fatalf("len(top) = %d", len(top))
+	}
+	counts := log.CountByUser()
+	for i := 1; i < len(top); i++ {
+		if counts[top[i]] > counts[top[i-1]] {
+			t.Errorf("not ordered by activity: %v", top)
+		}
+	}
+	all := log.TopActiveUsers(10_000)
+	if len(all) != len(log.Users()) {
+		t.Errorf("requesting more users than exist should return all")
+	}
+}
+
+func TestFilterUsers(t *testing.T) {
+	log := testLog(t)
+	users := log.Users()[:3]
+	sub := log.FilterUsers(users)
+	if len(sub.Users()) != 3 {
+		t.Fatalf("filtered users = %v", sub.Users())
+	}
+	want := 0
+	counts := log.CountByUser()
+	for _, u := range users {
+		want += counts[u]
+	}
+	if sub.Len() != want {
+		t.Errorf("filtered log size = %d, want %d", sub.Len(), want)
+	}
+}
+
+func TestUsersWithSensitiveQuery(t *testing.T) {
+	log := Generate(GeneratorConfig{Seed: 5, NumUsers: 40, MeanQueriesPerUser: 60})
+	users := log.UsersWithSensitiveQuery()
+	if len(users) == 0 {
+		t.Fatal("no users with sensitive queries; generator miscalibrated")
+	}
+	set := make(map[string]struct{})
+	for _, u := range users {
+		set[u] = struct{}{}
+	}
+	for _, q := range log.Queries {
+		if q.Sensitive {
+			if _, ok := set[q.User]; !ok {
+				t.Fatalf("user %s has sensitive query but missing from list", q.User)
+			}
+		}
+	}
+}
+
+func TestHeavyTailedActivity(t *testing.T) {
+	log := Generate(GeneratorConfig{Seed: 13, NumUsers: 100, MeanQueriesPerUser: 50})
+	counts := log.CountByUser()
+	max, min := 0, 1<<30
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 3*min {
+		t.Errorf("activity not heavy-tailed: min=%d max=%d", min, max)
+	}
+}
+
+func TestLogString(t *testing.T) {
+	log := testLog(t)
+	s := log.String()
+	if !strings.Contains(s, "queries=") || !strings.Contains(s, "users=30") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestGenerateWindow(t *testing.T) {
+	start := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+	log := testLog(t)
+	end := start.Add(90 * 24 * time.Hour)
+	for _, q := range log.Queries {
+		if q.Time.Before(start) || q.Time.After(end) {
+			t.Fatalf("query time %v outside window", q.Time)
+		}
+	}
+}

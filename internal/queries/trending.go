@@ -1,0 +1,49 @@
+package queries
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// TrendingSource simulates the Google-Trends-style feed the paper uses to
+// bootstrap the fake-query table before a node has relayed any real traffic
+// (§V-D): popular queries issued by real users about trendy topics. The
+// simulated feed draws short queries from the general (non-sensitive) topics
+// of a universe, biased toward each topic's most characteristic terms.
+type TrendingSource struct {
+	uni *Universe
+	rng *rand.Rand
+}
+
+// NewTrendingSource builds a trending-query source over the universe.
+func NewTrendingSource(uni *Universe, seed int64) *TrendingSource {
+	return &TrendingSource{uni: uni, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns one trending query string.
+func (s *TrendingSource) Next() string {
+	var general []Topic
+	for _, t := range s.uni.Topics {
+		if !t.Sensitive {
+			general = append(general, t)
+		}
+	}
+	topic := general[s.rng.Intn(len(general))]
+	n := 1 + s.rng.Intn(3)
+	terms := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		// Trending queries concentrate on the head of the topic vocabulary.
+		idx := zipfIndex(s.rng, len(topic.Terms)/4+1)
+		terms = append(terms, topic.Terms[idx])
+	}
+	return strings.Join(terms, " ")
+}
+
+// Batch returns n trending queries.
+func (s *TrendingSource) Batch(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}

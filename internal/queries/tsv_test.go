@@ -1,0 +1,87 @@
+package queries
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadTSV(t *testing.T) {
+	in := strings.Join([]string{
+		"AnonID\tQuery\tQueryTime\tItemRank\tClickURL",
+		"217\tlottery numbers\t2006-03-01 13:14:15\t1\thttp://x",
+		"217\tcheap flights\t2006-03-02 08:00:00",
+		"1326\tkidney dialysis\t2006-03-01 09:30:00",
+		"999\t-\t2006-03-01 10:00:00", // AOL empty-query marker
+		"999\tbroken line",            // too few fields
+		"999\tbad time\tnot-a-time",   // unparsable timestamp
+		"",                            // blank
+		"42\ttrailing ok\t2006-05-30 23:59:59",
+	}, "\n")
+
+	log, skipped, err := LoadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != 4 {
+		t.Fatalf("loaded %d queries, want 4", log.Len())
+	}
+	if skipped != 3 {
+		t.Errorf("skipped = %d, want 3", skipped)
+	}
+	// Chronological order with reassigned IDs.
+	for i := 1; i < log.Len(); i++ {
+		if log.Queries[i].Time.Before(log.Queries[i-1].Time) {
+			t.Fatal("not chronological")
+		}
+		if log.Queries[i].ID != i {
+			t.Fatal("IDs not reassigned")
+		}
+	}
+	users := log.Users()
+	if len(users) != 3 {
+		t.Errorf("users = %v", users)
+	}
+	if got := log.UserQueries("217"); len(got) != 2 {
+		t.Errorf("user 217 queries = %d", len(got))
+	}
+}
+
+func TestSaveLoadTSVRoundTrip(t *testing.T) {
+	orig := Generate(GeneratorConfig{Seed: 9, NumUsers: 8, MeanQueriesPerUser: 10})
+	var buf bytes.Buffer
+	if err := SaveTSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, skipped, err := LoadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d on clean round trip", skipped)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip lost queries: %d -> %d", orig.Len(), back.Len())
+	}
+	for i := range orig.Queries {
+		o, b := orig.Queries[i], back.Queries[i]
+		if o.User != b.User || o.Text != b.Text || !o.Time.Truncate(time.Second).Equal(b.Time) {
+			t.Fatalf("query %d mismatch: %+v vs %+v", i, o, b)
+		}
+	}
+	// Ground truth is not serialized.
+	for _, q := range back.Queries {
+		if q.Sensitive || q.Topic != "" {
+			t.Fatal("TSV round trip should not carry ground truth")
+		}
+	}
+}
+
+func TestLoadTSVNoHeader(t *testing.T) {
+	in := "217\tlottery numbers\t2006-03-01 13:14:15\n"
+	log, skipped, err := LoadTSV(strings.NewReader(in))
+	if err != nil || skipped != 0 || log.Len() != 1 {
+		t.Fatalf("headerless load: %d queries, %d skipped, %v", log.Len(), skipped, err)
+	}
+}

@@ -1,0 +1,203 @@
+package rps
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Network is the in-process driver of the peer-sampling overlay: it runs
+// gossip rounds across a set of nodes, delivering exchange buffers directly.
+// Node failures are modelled by marking nodes dead; exchanges with dead
+// nodes fail and the healer removes their descriptors over subsequent
+// rounds.
+type Network struct {
+	mu    sync.Mutex
+	nodes map[NodeID]*Node
+	dead  map[NodeID]struct{}
+	rng   *rand.Rand
+	round int
+}
+
+// NewNetwork creates an overlay of n nodes. Each node is bootstrapped with a
+// small random sample of other nodes, like the public-repository bootstrap
+// of §V-D.
+func NewNetwork(n int, cfg Config, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(nodeName(i))
+	}
+	net := &Network{
+		nodes: make(map[NodeID]*Node, n),
+		dead:  make(map[NodeID]struct{}),
+		rng:   rng,
+	}
+	bootSize := cfg.ViewSize
+	if bootSize == 0 {
+		bootSize = 16
+	}
+	if bootSize > n-1 {
+		bootSize = n - 1
+	}
+	for i, id := range ids {
+		perm := rng.Perm(n)
+		var boot []NodeID
+		for _, j := range perm {
+			if j == i {
+				continue
+			}
+			boot = append(boot, ids[j])
+			if len(boot) >= bootSize {
+				break
+			}
+		}
+		nodeCfg := cfg
+		nodeCfg.Seed = seed + int64(i)*7919
+		net.nodes[id] = NewNode(id, boot, nodeCfg)
+	}
+	return net
+}
+
+func nodeName(i int) string {
+	const digits = "0123456789"
+	buf := [8]byte{'n', 'o', 'd', 'e', '0', '0', '0', '0'}
+	for p := 7; p >= 4 && i > 0; p-- {
+		buf[p] = digits[i%10]
+		i /= 10
+	}
+	return string(buf[:])
+}
+
+// Node returns the node with the given ID, or nil.
+func (net *Network) Node(id NodeID) *Node {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return net.nodes[id]
+}
+
+// NodeIDs returns all node IDs, sorted.
+func (net *Network) NodeIDs() []NodeID {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	ids := make([]NodeID, 0, len(net.nodes))
+	for id := range net.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Kill marks a node dead: it stops gossiping and stops answering exchanges.
+func (net *Network) Kill(id NodeID) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	net.dead[id] = struct{}{}
+}
+
+// Alive reports whether a node is alive.
+func (net *Network) Alive(id NodeID) bool {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	_, dead := net.dead[id]
+	return !dead
+}
+
+// Round runs one gossip round: every alive node ages its view and initiates
+// one exchange with its selected peer.
+func (net *Network) Round() {
+	net.mu.Lock()
+	ids := make([]NodeID, 0, len(net.nodes))
+	for id := range net.nodes {
+		if _, dead := net.dead[id]; !dead {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	net.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	net.round++
+	net.mu.Unlock()
+
+	for _, id := range ids {
+		node := net.Node(id)
+		node.Tick()
+		peerID, ok := node.SelectPeer()
+		if !ok {
+			continue
+		}
+		if !net.Alive(peerID) {
+			node.FailExchange(peerID)
+			continue
+		}
+		peer := net.Node(peerID)
+		buffer := node.InitiateExchange()
+		reply := peer.HandleExchange(buffer)
+		node.CompleteExchange(reply)
+	}
+}
+
+// Run executes n gossip rounds.
+func (net *Network) Run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		net.Round()
+	}
+}
+
+// Rounds returns the number of rounds executed.
+func (net *Network) Rounds() int {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return net.round
+}
+
+// InDegrees returns, for every node, how many other alive nodes hold its
+// descriptor — the overlay's in-degree distribution, which must stay
+// balanced for CYCLOSA's load spreading.
+func (net *Network) InDegrees() map[NodeID]int {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	deg := make(map[NodeID]int, len(net.nodes))
+	for id := range net.nodes {
+		deg[id] = 0
+	}
+	for id, node := range net.nodes {
+		if _, dead := net.dead[id]; dead {
+			continue
+		}
+		for _, d := range node.View() {
+			deg[d.ID]++
+		}
+	}
+	return deg
+}
+
+// Reachable returns the number of alive nodes reachable from start by
+// following view edges — the overlay connectivity check.
+func (net *Network) Reachable(start NodeID) int {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if _, dead := net.dead[start]; dead {
+		return 0
+	}
+	seen := map[NodeID]struct{}{start: {}}
+	frontier := []NodeID{start}
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		node := net.nodes[id]
+		if node == nil {
+			continue
+		}
+		for _, d := range node.View() {
+			if _, dead := net.dead[d.ID]; dead {
+				continue
+			}
+			if _, ok := seen[d.ID]; ok {
+				continue
+			}
+			seen[d.ID] = struct{}{}
+			frontier = append(frontier, d.ID)
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,254 @@
+package rps
+
+import (
+	"testing"
+)
+
+func TestNewNodeBootstrap(t *testing.T) {
+	boot := []NodeID{"a", "b", "c", "self"}
+	n := NewNode("self", boot, Config{ViewSize: 8, Seed: 1})
+	if n.ID() != "self" {
+		t.Errorf("ID = %s", n.ID())
+	}
+	if n.ViewSize() != 3 {
+		t.Errorf("view size = %d, want 3 (self excluded)", n.ViewSize())
+	}
+	for _, d := range n.View() {
+		if d.ID == "self" {
+			t.Error("own descriptor in view")
+		}
+		if d.Age != 0 {
+			t.Error("bootstrap descriptors should be fresh")
+		}
+	}
+}
+
+func TestBootstrapRespectsViewSize(t *testing.T) {
+	boot := make([]NodeID, 50)
+	for i := range boot {
+		boot[i] = NodeID(nodeName(i))
+	}
+	n := NewNode("self", boot, Config{ViewSize: 8, Seed: 1})
+	if n.ViewSize() != 8 {
+		t.Errorf("view size = %d, want 8", n.ViewSize())
+	}
+}
+
+func TestSample(t *testing.T) {
+	boot := []NodeID{"a", "b", "c", "d", "e"}
+	n := NewNode("self", boot, Config{ViewSize: 8, Seed: 2})
+	s := n.Sample(3)
+	if len(s) != 3 {
+		t.Fatalf("sample size = %d", len(s))
+	}
+	seen := make(map[NodeID]struct{})
+	for _, id := range s {
+		if id == "self" {
+			t.Error("sampled self")
+		}
+		if _, dup := seen[id]; dup {
+			t.Error("duplicate in sample")
+		}
+		seen[id] = struct{}{}
+	}
+	if got := n.Sample(100); len(got) != 5 {
+		t.Errorf("oversized sample = %d, want 5", len(got))
+	}
+	if n.Sample(0) != nil {
+		t.Error("Sample(0) should be nil")
+	}
+	empty := NewNode("alone", nil, Config{Seed: 3})
+	if empty.Sample(2) != nil {
+		t.Error("empty view sample should be nil")
+	}
+}
+
+func TestSelectPeerPicksOldest(t *testing.T) {
+	n := NewNode("self", []NodeID{"a", "b"}, Config{ViewSize: 8, Seed: 4})
+	n.Tick()
+	// Manually freshen "a" by merging a fresh descriptor.
+	n.CompleteExchange([]Descriptor{{ID: "a", Age: 0}})
+	peer, ok := n.SelectPeer()
+	if !ok || peer != "b" {
+		t.Errorf("SelectPeer = %v %v, want b (oldest)", peer, ok)
+	}
+	empty := NewNode("alone", nil, Config{Seed: 5})
+	if _, ok := empty.SelectPeer(); ok {
+		t.Error("empty view should have no peer")
+	}
+}
+
+func TestBlacklist(t *testing.T) {
+	n := NewNode("self", []NodeID{"a", "b"}, Config{ViewSize: 8, Seed: 6})
+	n.Blacklist("a")
+	for _, d := range n.View() {
+		if d.ID == "a" {
+			t.Fatal("blacklisted peer still in view")
+		}
+	}
+	// Merging a blacklisted descriptor must not re-admit it.
+	n.CompleteExchange([]Descriptor{{ID: "a", Age: 0}})
+	for _, d := range n.View() {
+		if d.ID == "a" {
+			t.Fatal("blacklisted peer re-admitted")
+		}
+	}
+}
+
+func TestMergeDeduplicatesKeepingFreshest(t *testing.T) {
+	n := NewNode("self", []NodeID{"a"}, Config{ViewSize: 8, Seed: 7})
+	n.Tick()
+	n.Tick() // a is now age 2
+	n.CompleteExchange([]Descriptor{{ID: "a", Age: 1}})
+	view := n.View()
+	if len(view) != 1 || view[0].Age != 1 {
+		t.Errorf("view after merge = %v, want a@1", view)
+	}
+	// An older duplicate must not replace a fresher entry.
+	n.CompleteExchange([]Descriptor{{ID: "a", Age: 9}})
+	view = n.View()
+	if len(view) != 1 || view[0].Age != 1 {
+		t.Errorf("view after stale merge = %v, want a@1", view)
+	}
+}
+
+func TestViewNeverExceedsSize(t *testing.T) {
+	n := NewNode("self", []NodeID{"a", "b", "c"}, Config{ViewSize: 4, Seed: 8})
+	for i := 0; i < 20; i++ {
+		n.CompleteExchange([]Descriptor{
+			{ID: NodeID(nodeName(i)), Age: i % 3},
+			{ID: NodeID(nodeName(i + 100)), Age: 0},
+		})
+		if n.ViewSize() > 4 {
+			t.Fatalf("view grew to %d > 4", n.ViewSize())
+		}
+	}
+}
+
+func TestExchangeBufferShape(t *testing.T) {
+	boot := make([]NodeID, 12)
+	for i := range boot {
+		boot[i] = NodeID(nodeName(i))
+	}
+	n := NewNode("self", boot, Config{ViewSize: 12, Seed: 9})
+	buf := n.InitiateExchange()
+	if len(buf) == 0 || buf[0].ID != "self" || buf[0].Age != 0 {
+		t.Fatalf("buffer must start with own fresh descriptor: %v", buf)
+	}
+	if len(buf) > 12/2 {
+		t.Errorf("buffer size = %d, want <= C/2", len(buf))
+	}
+}
+
+func TestNetworkConnectivity(t *testing.T) {
+	net := NewNetwork(60, Config{ViewSize: 10, Seed: 1}, 1)
+	net.Run(30)
+	for _, id := range []NodeID{"node0000", "node0030", "node0059"} {
+		if got := net.Reachable(id); got != 60 {
+			t.Errorf("reachable from %s = %d, want 60", id, got)
+		}
+	}
+}
+
+func TestNetworkInDegreeBalance(t *testing.T) {
+	net := NewNetwork(60, Config{ViewSize: 10, Seed: 2}, 2)
+	net.Run(40)
+	deg := net.InDegrees()
+	max, min := 0, 1<<30
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+		if d < min {
+			min = d
+		}
+	}
+	if min == 0 {
+		t.Error("some node has in-degree 0 (isolated)")
+	}
+	// Mean in-degree equals the view size; a healthy overlay stays within a
+	// small factor of it.
+	if max > 4*10 {
+		t.Errorf("in-degree too skewed: min=%d max=%d", min, max)
+	}
+}
+
+func TestNetworkHealsDeadNodes(t *testing.T) {
+	net := NewNetwork(40, Config{ViewSize: 8, Healer: 2, Seed: 3}, 3)
+	net.Run(15)
+	// Kill a quarter of the overlay.
+	for i := 0; i < 10; i++ {
+		net.Kill(NodeID(nodeName(i)))
+	}
+	net.Run(40)
+	// Dead descriptors must have been healed out of alive views.
+	deadRefs := 0
+	for _, id := range net.NodeIDs() {
+		if !net.Alive(id) {
+			continue
+		}
+		for _, d := range net.Node(id).View() {
+			if !net.Alive(d.ID) {
+				deadRefs++
+			}
+		}
+	}
+	if deadRefs > 4 {
+		t.Errorf("alive views still hold %d dead descriptors", deadRefs)
+	}
+	// The alive part must remain connected.
+	if got := net.Reachable("node0020"); got != 30 {
+		t.Errorf("alive reachable = %d, want 30", got)
+	}
+}
+
+func TestNetworkRoundsCounterAndKill(t *testing.T) {
+	net := NewNetwork(10, Config{ViewSize: 4, Seed: 4}, 4)
+	net.Run(5)
+	if net.Rounds() != 5 {
+		t.Errorf("Rounds = %d", net.Rounds())
+	}
+	net.Kill("node0001")
+	if net.Alive("node0001") {
+		t.Error("killed node still alive")
+	}
+	if net.Reachable("node0001") != 0 {
+		t.Error("dead node should reach nothing")
+	}
+}
+
+func TestViewsKeepChanging(t *testing.T) {
+	// The overlay must keep shuffling (a "continuously changing random
+	// topology", §V-E): a node's view after more rounds should differ.
+	net := NewNetwork(30, Config{ViewSize: 8, Seed: 5}, 5)
+	net.Run(10)
+	before := net.Node("node0000").View()
+	net.Run(10)
+	after := net.Node("node0000").View()
+	same := 0
+	bset := make(map[NodeID]struct{})
+	for _, d := range before {
+		bset[d.ID] = struct{}{}
+	}
+	for _, d := range after {
+		if _, ok := bset[d.ID]; ok {
+			same++
+		}
+	}
+	if same == len(before) && len(before) == len(after) {
+		t.Error("view identical after 10 rounds; overlay not shuffling")
+	}
+}
+
+func TestDescriptorString(t *testing.T) {
+	d := Descriptor{ID: "n1", Age: 3}
+	if d.String() != "n1@3" {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestNodeNameFormat(t *testing.T) {
+	if nodeName(0) != "node0000" || nodeName(42) != "node0042" || nodeName(9999) != "node9999" {
+		t.Errorf("nodeName wrong: %s %s %s", nodeName(0), nodeName(42), nodeName(9999))
+	}
+}

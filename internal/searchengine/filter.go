@@ -1,0 +1,50 @@
+package searchengine
+
+import "cyclosa/internal/textproc"
+
+// FilterByTerms implements the response filtering used by the OR-based
+// obfuscation mechanisms (GooPIR, PEAS, X-SEARCH): keep only the results
+// containing at least one term of the original query (§II-A3). The filter is
+// imperfect by nature — results of fake queries that happen to share a term
+// survive (correctness < 1) and real results pushed out of the merged page
+// are lost forever (completeness < 1).
+func FilterByTerms(results []Result, queryTerms []string) []Result {
+	if len(queryTerms) == 0 {
+		return nil
+	}
+	want := make(map[string]struct{}, len(queryTerms))
+	for _, t := range queryTerms {
+		want[t] = struct{}{}
+	}
+	out := make([]Result, 0, len(results))
+	for _, r := range results {
+		for _, t := range r.Terms {
+			if _, ok := want[t]; ok {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FilterByQuery tokenizes the original query and applies FilterByTerms.
+func FilterByQuery(results []Result, query string) []Result {
+	return FilterByTerms(results, textproc.Tokenize(query))
+}
+
+// Overlap returns |a ∩ b| over result document IDs, the building block of
+// the correctness/completeness metrics (§VII-F).
+func Overlap(a, b []Result) int {
+	set := make(map[int]struct{}, len(a))
+	for _, r := range a {
+		set[r.DocID] = struct{}{}
+	}
+	n := 0
+	for _, r := range b {
+		if _, ok := set[r.DocID]; ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package securechan
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// maxRecordSize bounds a single record to keep a malicious peer from forcing
+// unbounded allocations.
+const maxRecordSize = 1 << 20
+
+// ErrRecordTooLarge is returned when a peer announces an oversized record.
+var ErrRecordTooLarge = errors.New("securechan: record exceeds maximum size")
+
+// Channel is a stream-oriented secure channel over a net.Conn: the attested
+// handshake runs first, then each message travels as a length-prefixed
+// encrypted record. It is the TCP-deployment analogue of the in-enclave TLS
+// connection of the paper.
+type Channel struct {
+	conn    net.Conn
+	session *Session
+}
+
+// Dial runs the initiator side of the handshake over conn.
+func Dial(conn net.Conn, h *Handshaker) (*Channel, error) {
+	offer, err := h.Offer()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := offer.Marshal()
+	if err != nil {
+		return nil, fmt.Errorf("marshal offer: %w", err)
+	}
+	if err := writeFrame(conn, raw); err != nil {
+		return nil, fmt.Errorf("send offer: %w", err)
+	}
+	peerRaw, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("read peer offer: %w", err)
+	}
+	peer, err := UnmarshalHandshakeMsg(peerRaw)
+	if err != nil {
+		return nil, err
+	}
+	session, err := h.Establish(peer, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Channel{conn: conn, session: session}, nil
+}
+
+// Accept runs the responder side of the handshake over conn.
+func Accept(conn net.Conn, h *Handshaker) (*Channel, error) {
+	peerRaw, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("read offer: %w", err)
+	}
+	peer, err := UnmarshalHandshakeMsg(peerRaw)
+	if err != nil {
+		return nil, err
+	}
+	offer, err := h.Offer()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := offer.Marshal()
+	if err != nil {
+		return nil, fmt.Errorf("marshal offer: %w", err)
+	}
+	if err := writeFrame(conn, raw); err != nil {
+		return nil, fmt.Errorf("send offer: %w", err)
+	}
+	session, err := h.Establish(peer, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Channel{conn: conn, session: session}, nil
+}
+
+// Session exposes the underlying session (e.g. for PeerMeasurement).
+func (c *Channel) Session() *Session { return c.session }
+
+// Send encrypts and writes one message.
+func (c *Channel) Send(msg []byte) error {
+	record, err := c.session.Encrypt(msg)
+	if err != nil {
+		return err
+	}
+	return writeFrame(c.conn, record)
+}
+
+// Receive reads and decrypts one message.
+func (c *Channel) Receive() ([]byte, error) {
+	record, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	return c.session.Decrypt(record)
+}
+
+// Close closes the session and the underlying connection.
+func (c *Channel) Close() error {
+	c.session.Close()
+	return c.conn.Close()
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxRecordSize {
+		return ErrRecordTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxRecordSize {
+		return nil, ErrRecordTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

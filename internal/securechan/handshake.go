@@ -1,0 +1,145 @@
+package securechan
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"cyclosa/internal/enclave"
+)
+
+// Handshake errors.
+var (
+	ErrAttestation = errors.New("securechan: peer attestation failed")
+	ErrBinding     = errors.New("securechan: quote not bound to handshake key")
+)
+
+// HandshakeMsg is one attested key-exchange message: an ephemeral X25519
+// public key plus a quote whose report data commits to that key. It is the
+// simulated analogue of CYCLOSA's challenge/quote exchange (§V-D).
+type HandshakeMsg struct {
+	// PublicKey is the sender's ephemeral X25519 public key.
+	PublicKey []byte `json:"publicKey"`
+	// Quote attests the sender's enclave and binds PublicKey via its report
+	// data (SHA-256 of the key).
+	Quote *enclave.Quote `json:"quote"`
+}
+
+// Marshal encodes the message for the wire.
+func (m *HandshakeMsg) Marshal() ([]byte, error) { return json.Marshal(m) }
+
+// UnmarshalHandshakeMsg decodes a wire message.
+func UnmarshalHandshakeMsg(data []byte) (*HandshakeMsg, error) {
+	var m HandshakeMsg
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("handshake msg: %w", err)
+	}
+	return &m, nil
+}
+
+// Handshaker drives one side of the attested key exchange for one enclave.
+type Handshaker struct {
+	encl     *enclave.Enclave
+	verifier *enclave.Verifier
+	priv     *ecdh.PrivateKey
+}
+
+// NewHandshaker creates a handshaker: the ephemeral key pair is generated
+// "inside" the enclave and its public half is bound into a fresh quote on
+// Offer. The verifier carries the known-good measurement list used to judge
+// the peer.
+func NewHandshaker(encl *enclave.Enclave, verifier *enclave.Verifier) (*Handshaker, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("handshake keygen: %w", err)
+	}
+	return &Handshaker{encl: encl, verifier: verifier, priv: priv}, nil
+}
+
+// Offer produces this side's handshake message.
+func (h *Handshaker) Offer() (*HandshakeMsg, error) {
+	pub := h.priv.PublicKey().Bytes()
+	digest := sha256.Sum256(pub)
+	quote, err := h.encl.Quote(digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("handshake quote: %w", err)
+	}
+	return &HandshakeMsg{PublicKey: pub, Quote: quote}, nil
+}
+
+// verifyPeer checks the peer's quote (IAS + known-good measurement) and its
+// binding to the peer's handshake key.
+func (h *Handshaker) verifyPeer(peer *HandshakeMsg) error {
+	if peer.Quote == nil {
+		return ErrAttestation
+	}
+	if err := h.verifier.Verify(peer.Quote); err != nil {
+		return fmt.Errorf("%w: %v", ErrAttestation, err)
+	}
+	digest := sha256.Sum256(peer.PublicKey)
+	if [32]byte(peer.Quote.ReportData[:32]) != digest {
+		return ErrBinding
+	}
+	return nil
+}
+
+// Establish completes the key exchange with the peer's message and returns
+// the session. initiator must be true on exactly one side; both sides derive
+// the same directional keys, assigned by role.
+func (h *Handshaker) Establish(peer *HandshakeMsg, initiator bool) (*Session, error) {
+	if err := h.verifyPeer(peer); err != nil {
+		return nil, err
+	}
+	peerPub, err := ecdh.X25519().NewPublicKey(peer.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("peer public key: %w", err)
+	}
+	shared, err := h.priv.ECDH(peerPub)
+	if err != nil {
+		return nil, fmt.Errorf("ecdh: %w", err)
+	}
+
+	// Transcript binds both public keys in a role-independent order.
+	own := h.priv.PublicKey().Bytes()
+	tr := sha256.New()
+	if initiator {
+		tr.Write(own)
+		tr.Write(peer.PublicKey)
+	} else {
+		tr.Write(peer.PublicKey)
+		tr.Write(own)
+	}
+	initKey, respKey := deriveKeys(shared, tr.Sum(nil))
+
+	if initiator {
+		return newSession(initKey, respKey, peer.Quote.Measurement)
+	}
+	return newSession(respKey, initKey, peer.Quote.Measurement)
+}
+
+// EstablishPair runs the full handshake between two enclaves in-process and
+// returns the two session ends (a, b). It is the building block for the
+// simulated network, where handshake messages travel over the message
+// transport.
+func EstablishPair(a, b *Handshaker) (*Session, *Session, error) {
+	offerA, err := a.Offer()
+	if err != nil {
+		return nil, nil, fmt.Errorf("offer a: %w", err)
+	}
+	offerB, err := b.Offer()
+	if err != nil {
+		return nil, nil, fmt.Errorf("offer b: %w", err)
+	}
+	sa, err := a.Establish(offerB, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("establish a: %w", err)
+	}
+	sb, err := b.Establish(offerA, false)
+	if err != nil {
+		return nil, nil, fmt.Errorf("establish b: %w", err)
+	}
+	return sa, sb, nil
+}

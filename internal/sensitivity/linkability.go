@@ -1,0 +1,87 @@
+package sensitivity
+
+import (
+	"sync"
+
+	"cyclosa/internal/textproc"
+)
+
+// Linkability assesses the risk that a query can be linked back to its
+// originating user by a re-identification attack (§V-A2): it measures the
+// proximity of the query to the user's own past queries via cosine
+// similarity and aggregates the ranked similarities with exponential
+// smoothing. The score is in [0, 1]; higher means more linkable.
+//
+// The assessor maintains the user's local history. It is safe for concurrent
+// use: the browser extension assesses queries while the history grows.
+type Linkability struct {
+	mu      sync.RWMutex
+	history []textproc.Vector
+	alpha   float64
+	maxSize int
+}
+
+// NewLinkability creates an assessor with the given smoothing factor
+// (DefaultSmoothingAlpha if alpha <= 0) and unbounded history.
+func NewLinkability(alpha float64) *Linkability {
+	if alpha <= 0 {
+		alpha = textproc.DefaultSmoothingAlpha
+	}
+	return &Linkability{alpha: alpha}
+}
+
+// NewBoundedLinkability creates an assessor that keeps only the most recent
+// maxSize queries, for long-running clients.
+func NewBoundedLinkability(alpha float64, maxSize int) *Linkability {
+	l := NewLinkability(alpha)
+	l.maxSize = maxSize
+	return l
+}
+
+// Add records a past query of the local user.
+func (l *Linkability) Add(query string) {
+	v := textproc.NewVector(query)
+	if v.Len() == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.history = append(l.history, v)
+	if l.maxSize > 0 && len(l.history) > l.maxSize {
+		l.history = l.history[len(l.history)-l.maxSize:]
+	}
+}
+
+// AddAll records a batch of past queries.
+func (l *Linkability) AddAll(queries []string) {
+	for _, q := range queries {
+		l.Add(q)
+	}
+}
+
+// HistorySize returns the number of recorded past queries.
+func (l *Linkability) HistorySize() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.history)
+}
+
+// Score returns the linkability of query against the recorded history:
+// the exponential smoothing of the ranked cosine similarities. An empty
+// history or empty query yields 0.
+func (l *Linkability) Score(query string) float64 {
+	v := textproc.NewVector(query)
+	if v.Len() == 0 {
+		return 0
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.history) == 0 {
+		return 0
+	}
+	sims := make([]float64, len(l.history))
+	for i, h := range l.history {
+		sims[i] = textproc.Cosine(v, h)
+	}
+	return textproc.ExponentialSmoothing(sims, l.alpha)
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled curve of a plot.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// PlotOptions sizes an ASCII plot.
+type PlotOptions struct {
+	// Width and Height of the plot area in characters (defaults 64×16).
+	Width, Height int
+	// LogX plots the x axis on a log10 scale (the paper's Fig 8a).
+	LogX bool
+	// XLabel / YLabel annotate the axes.
+	XLabel, YLabel string
+}
+
+// seriesMarks are the glyphs assigned to successive series.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// AsciiPlot renders labelled series into a monospace grid — enough to eyeball
+// the shape of a CDF comparison in terminal output, in the spirit of the
+// paper's figures.
+func AsciiPlot(series []Series, opts PlotOptions) string {
+	if opts.Width == 0 {
+		opts.Width = 64
+	}
+	if opts.Height == 0 {
+		opts.Height = 16
+	}
+	if len(series) == 0 {
+		return "(no series)\n"
+	}
+
+	// Determine ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			x := p.X
+			if opts.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX {
+		maxX = minX + 1
+	}
+	if math.IsInf(minY, 1) || maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for _, p := range s.Points {
+			x := p.X
+			if opts.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			col := int((x - minX) / (maxX - minX) * float64(opts.Width-1))
+			row := opts.Height - 1 - int((p.Y-minY)/(maxY-minY)*float64(opts.Height-1))
+			if col >= 0 && col < opts.Width && row >= 0 && row < opts.Height {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", opts.YLabel)
+	}
+	for i, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(i)/float64(opts.Height-1)
+		fmt.Fprintf(&b, "%7.2f |%s\n", yVal, string(row))
+	}
+	b.WriteString(strings.Repeat(" ", 8) + "+" + strings.Repeat("-", opts.Width) + "\n")
+	left := minX
+	right := maxX
+	if opts.LogX {
+		left = math.Pow(10, minX)
+		right = math.Pow(10, maxX)
+	}
+	xcaption := opts.XLabel
+	if opts.LogX {
+		xcaption += " (log scale)"
+	}
+	fmt.Fprintf(&b, "%8s%-10.3g%s%10.3g  %s\n", "", left,
+		strings.Repeat(" ", maxInt(1, opts.Width-20)), right, xcaption)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesMarks[si%len(seriesMarks)], s.Label)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlot(t *testing.T) {
+	series := []Series{
+		{Label: "fast", Points: []Point{{X: 0.1, Y: 0.2}, {X: 0.5, Y: 0.8}, {X: 1.0, Y: 1.0}}},
+		{Label: "slow", Points: []Point{{X: 10, Y: 0.1}, {X: 60, Y: 0.9}}},
+	}
+	out := AsciiPlot(series, PlotOptions{Width: 40, Height: 8, LogX: true, XLabel: "seconds", YLabel: "CDF"})
+	for _, want := range []string{"fast", "slow", "CDF", "seconds (log scale)", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestAsciiPlotEdgeCases(t *testing.T) {
+	if out := AsciiPlot(nil, PlotOptions{}); !strings.Contains(out, "no series") {
+		t.Errorf("empty plot = %q", out)
+	}
+	// Single point and zero/negative x under LogX must not panic.
+	out := AsciiPlot([]Series{
+		{Label: "p", Points: []Point{{X: 0, Y: 0.5}, {X: 5, Y: 0.5}}},
+	}, PlotOptions{LogX: true})
+	if out == "" {
+		t.Error("plot empty")
+	}
+	out = AsciiPlot([]Series{{Label: "one", Points: []Point{{X: 1, Y: 1}}}}, PlotOptions{})
+	if !strings.Contains(out, "one") {
+		t.Error("single-point series broken")
+	}
+}
+
+func TestAsciiPlotManySeriesCycleMarks(t *testing.T) {
+	var series []Series
+	for i := 0; i < 8; i++ {
+		series = append(series, Series{
+			Label:  strings.Repeat("s", i+1),
+			Points: []Point{{X: float64(i), Y: float64(i)}},
+		})
+	}
+	out := AsciiPlot(series, PlotOptions{Width: 30, Height: 6})
+	if !strings.Contains(out, "ssssssss") {
+		t.Error("legend truncated")
+	}
+}

@@ -1,0 +1,31 @@
+package textproc
+
+import "sort"
+
+// ExponentialSmoothing aggregates a list of similarity scores into a single
+// value, giving more weight to the highest similarities. Following the paper
+// (§V-A2, §VII-E) and SimAttack, the scores are ranked in ascending order and
+// folded with smoothing factor alpha:
+//
+//	s = x_1
+//	s = alpha·x_i + (1-alpha)·s   for i = 2..n (ascending order)
+//
+// so the largest scores are applied last and dominate the aggregate. An empty
+// input yields 0. alpha must be in (0, 1]; SimAttack uses 0.5.
+func ExponentialSmoothing(scores []float64, alpha float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(scores))
+	copy(sorted, scores)
+	sort.Float64s(sorted)
+	s := sorted[0]
+	for _, x := range sorted[1:] {
+		s = alpha*x + (1-alpha)*s
+	}
+	return s
+}
+
+// DefaultSmoothingAlpha is the smoothing factor used by SimAttack and by the
+// CYCLOSA linkability assessment.
+const DefaultSmoothingAlpha = 0.5

@@ -1,0 +1,105 @@
+package textproc
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewVector(t *testing.T) {
+	v := NewVector("cheap cheap flights boston")
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (duplicates collapse)", v.Len())
+	}
+	for _, term := range []string{"cheap", "flights", "boston"} {
+		if !v.Contains(term) {
+			t.Errorf("missing term %q", term)
+		}
+	}
+	terms := v.Terms()
+	sort.Strings(terms)
+	if len(terms) != 3 || terms[0] != "boston" {
+		t.Errorf("Terms() = %v", terms)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b string
+		want float64
+	}{
+		{"identical", "cheap flights boston", "cheap flights boston", 1.0},
+		{"disjoint", "cheap flights", "pizza recipe", 0.0},
+		{"half overlap", "cheap flights", "cheap hotels", 0.5},
+		{"empty a", "", "cheap flights", 0.0},
+		{"both empty", "", "", 0.0},
+		{"subset", "flights", "cheap flights", 1 / math.Sqrt2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Cosine(NewVector(tt.a), NewVector(tt.b))
+			if !almostEqual(got, tt.want) {
+				t.Errorf("Cosine(%q, %q) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCosineSymmetricAndBounded(t *testing.T) {
+	f := func(a, b string) bool {
+		va, vb := NewVector(a), NewVector(b)
+		c1, c2 := Cosine(va, vb), Cosine(vb, va)
+		return almostEqual(c1, c2) && c1 >= 0 && c1 <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineSelfIsOne(t *testing.T) {
+	f := func(s string) bool {
+		v := NewVector(s)
+		if v.Len() == 0 {
+			return almostEqual(Cosine(v, v), 0)
+		}
+		return almostEqual(Cosine(v, v), 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b string
+		want float64
+	}{
+		{"identical", "a1 b2 c3", "a1 b2 c3", 1.0},
+		{"disjoint", "a1 b2", "c3 d4", 0.0},
+		{"one shared of three", "a1 b2", "b2 c3", 1.0 / 3.0},
+		{"both empty", "", "", 0.0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Jaccard(NewVector(tt.a), NewVector(tt.b))
+			if !almostEqual(got, tt.want) {
+				t.Errorf("Jaccard = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestJaccardBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		j := Jaccard(NewVector(a), NewVector(b))
+		return j >= 0 && j <= 1+1e-9 && almostEqual(j, Jaccard(NewVector(b), NewVector(a)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

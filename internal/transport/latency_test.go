@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cyclosa/internal/stats"
+)
+
+func TestLogNormalSampleMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ln := LogNormal{Median: 100 * time.Millisecond, Sigma: 0.5}
+	samples := make([]float64, 4000)
+	for i := range samples {
+		samples[i] = ln.Sample(rng).Seconds()
+	}
+	med := stats.Median(samples)
+	if med < 0.085 || med > 0.115 {
+		t.Errorf("sample median = %.3fs, want ≈ 0.100s", med)
+	}
+	for _, s := range samples {
+		if s <= 0 {
+			t.Fatal("non-positive latency sample")
+		}
+	}
+}
+
+func TestLogNormalZeroMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if d := (LogNormal{}).Sample(rng); d != 0 {
+		t.Errorf("zero-median sample = %v", d)
+	}
+}
+
+func TestDefaultModelOrdering(t *testing.T) {
+	m := DefaultModel(2)
+	n := 500
+	mean := func(c LinkClass) float64 {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += m.Sample(c).Seconds()
+		}
+		return sum / float64(n)
+	}
+	lan, wan, tor, engine := mean(LinkLAN), mean(LinkWAN), mean(LinkTorHop), mean(LinkEngineRTT)
+	if !(lan < wan && wan < engine && engine < tor) {
+		t.Errorf("latency ordering violated: lan=%v wan=%v engine=%v tor=%v", lan, wan, engine, tor)
+	}
+	if m.Sample(LinkClass(99)) != 0 {
+		t.Error("unknown link class should sample 0")
+	}
+	if m.ProcessingCost() != 2*time.Millisecond {
+		t.Errorf("processing cost = %v", m.ProcessingCost())
+	}
+}
+
+func TestRTT(t *testing.T) {
+	m := DefaultModel(3)
+	rtt := m.RTT(LinkWAN)
+	if rtt <= 0 {
+		t.Error("non-positive RTT")
+	}
+}
+
+func TestModelDeterministicPerSeed(t *testing.T) {
+	a := DefaultModel(7)
+	b := DefaultModel(7)
+	for i := 0; i < 10; i++ {
+		if a.Sample(LinkWAN) != b.Sample(LinkWAN) {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	start := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+	c := NewVirtualClock(start)
+	if !c.Now().Equal(start) {
+		t.Error("initial time wrong")
+	}
+	c.Advance(time.Hour)
+	if !c.Now().Equal(start.Add(time.Hour)) {
+		t.Error("advance wrong")
+	}
+	c.Advance(-time.Hour)
+	if !c.Now().Equal(start.Add(time.Hour)) {
+		t.Error("negative advance should be ignored")
+	}
+	c.Set(start.Add(2 * time.Hour))
+	if !c.Now().Equal(start.Add(2 * time.Hour)) {
+		t.Error("set forward wrong")
+	}
+	c.Set(start)
+	if !c.Now().Equal(start.Add(2 * time.Hour)) {
+		t.Error("set backward should be ignored")
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	before := time.Now()
+	got := RealClock{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Error("RealClock.Now out of range")
+	}
+}
