@@ -5,11 +5,18 @@
 //
 //	cyclosa-bench -exp all
 //	cyclosa-bench -exp fig5 -users 198 -seed 1
-//	cyclosa-bench -exp fig8c -duration 2s
+//	cyclosa-bench -exp fig8c -duration 2s -concurrency 16
+//	cyclosa-bench -exp loadtest -concurrency 32 -duration 2s -workload zipf
 //
 // Experiments: table1, crowd, table2, fig5, fig6, fig7, fig8a, fig8b,
-// fig8c, fig8d, all (everything except the real-time fig8c unless
-// explicitly requested).
+// fig8c, fig8d, loadtest, all (everything except the real-time fig8c and
+// loadtest unless explicitly requested).
+//
+// The loadtest experiment drives the concurrent workload engine
+// (internal/workload) against the full forward path of one relay with a
+// null backend: -concurrency client goroutines, a fixed | zipf | trace
+// query workload, closed loop by default or open loop at -rate req/s. It
+// also measures a single-client serial baseline and reports the speedup.
 package main
 
 import (
@@ -32,19 +39,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cyclosa-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|all")
-		seed     = fs.Int64("seed", 1, "random seed")
-		users    = fs.Int("users", 198, "workload users (paper: 198)")
-		mean     = fs.Int("mean-queries", 120, "mean queries per user")
-		queries  = fs.Int("queries", 1000, "max queries per experiment (0 = all)")
-		duration = fs.Duration("duration", 500*time.Millisecond, "per-rate duration for fig8c")
+		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|loadtest|all")
+		seed        = fs.Int64("seed", 1, "random seed")
+		users       = fs.Int("users", 198, "workload users (paper: 198)")
+		mean        = fs.Int("mean-queries", 120, "mean queries per user")
+		queries     = fs.Int("queries", 1000, "max queries per experiment (0 = all)")
+		duration    = fs.Duration("duration", 500*time.Millisecond, "per-rate duration for fig8c / measured window for loadtest")
+		concurrency = fs.Int("concurrency", 8, "concurrent client goroutines for fig8c and loadtest")
+		workloadGen = fs.String("workload", "fixed", "loadtest query workload: fixed|zipf|trace")
+		rate        = fs.Float64("rate", 0, "loadtest open-loop offered rate in req/s (0 = closed loop)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	want := strings.ToLower(*exp)
-	needWorld := want != "table1"
+	needWorld := want != "table1" && want != "loadtest"
 
 	var world *eval.World
 	if needWorld {
@@ -111,7 +121,22 @@ func run(args []string) error {
 			return nil
 		}},
 		{"fig8c", func() error {
-			r, err := eval.RunThroughput(world, eval.ThroughputOptions{Duration: *duration})
+			r, err := eval.RunThroughput(world, eval.ThroughputOptions{Duration: *duration, Workers: *concurrency})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		}},
+		{"loadtest", func() error {
+			r, err := eval.RunLoadTest(eval.LoadTestOptions{
+				Seed:          *seed,
+				Concurrency:   *concurrency,
+				Duration:      *duration,
+				Workload:      *workloadGen,
+				Rate:          *rate,
+				CompareSerial: true,
+			})
 			if err != nil {
 				return err
 			}
@@ -157,8 +182,8 @@ func run(args []string) error {
 		if want != "all" && want != e.name {
 			continue
 		}
-		if want == "all" && e.name == "fig8c" {
-			fmt.Println("fig8c: skipped in -exp all (real-time load test); run -exp fig8c explicitly")
+		if want == "all" && (e.name == "fig8c" || e.name == "loadtest") {
+			fmt.Printf("%s: skipped in -exp all (real-time load test); run -exp %s explicitly\n", e.name, e.name)
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", e.name)

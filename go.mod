@@ -1,0 +1,3 @@
+module cyclosa
+
+go 1.21

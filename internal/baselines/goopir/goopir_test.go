@@ -1,0 +1,135 @@
+package goopir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"cyclosa/internal/queries"
+	"cyclosa/internal/searchengine"
+	"cyclosa/internal/transport"
+)
+
+// recordingBackend captures every engine call and serves a canned page.
+type recordingBackend struct {
+	sources []string
+	queries []string
+	page    []searchengine.Result
+}
+
+func (b *recordingBackend) Search(source, query string, _ time.Time) ([]searchengine.Result, error) {
+	b.sources = append(b.sources, source)
+	b.queries = append(b.queries, query)
+	return b.page, nil
+}
+
+func testUniverse(t *testing.T) *queries.Universe {
+	t.Helper()
+	return queries.NewUniverse(queries.UniverseConfig{Seed: 7})
+}
+
+func TestDictionaryFlattensUniverse(t *testing.T) {
+	uni := testUniverse(t)
+	dict := NewDictionary(uni)
+	want := len(uni.Background)
+	for _, topic := range uni.Topics {
+		want += len(topic.Terms)
+	}
+	if dict.Size() != want {
+		t.Fatalf("dictionary size = %d, want %d (topics + background)", dict.Size(), want)
+	}
+}
+
+func TestFakeQueryTermCounts(t *testing.T) {
+	dict := NewDictionary(testUniverse(t))
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct {
+		name      string
+		termCount int
+		wantTerms int
+	}{
+		{"zero defaults to one", 0, 1},
+		{"negative defaults to one", -3, 1},
+		{"single term", 1, 1},
+		{"three terms", 3, 3},
+		{"six terms", 6, 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			fake := dict.FakeQuery(rng, tt.termCount)
+			if got := len(strings.Fields(fake)); got != tt.wantTerms {
+				t.Fatalf("FakeQuery(%d) = %q with %d terms, want %d", tt.termCount, fake, got, tt.wantTerms)
+			}
+		})
+	}
+}
+
+func TestObfuscateShape(t *testing.T) {
+	uni := testUniverse(t)
+	dict := NewDictionary(uni)
+	query := uni.Topics[0].Terms[0] + " " + uni.Topics[0].Terms[1]
+	tests := []struct {
+		name  string
+		k     int
+		wantK int
+	}{
+		{"default k", 0, 4},
+		{"k=2", 2, 2},
+		{"paper k=4", 4, 4},
+		{"k=8", 8, 8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := NewClient("u1", &recordingBackend{}, dict, transport.DefaultModel(1), tt.k, 11)
+			obfuscated, disjuncts, realIdx := c.Obfuscate(query)
+			if len(disjuncts) != tt.wantK {
+				t.Fatalf("got %d disjuncts, want %d", len(disjuncts), tt.wantK)
+			}
+			if realIdx < 0 || realIdx >= len(disjuncts) {
+				t.Fatalf("real index %d out of range", realIdx)
+			}
+			if disjuncts[realIdx] != query {
+				t.Fatalf("disjunct at real index = %q, want %q", disjuncts[realIdx], query)
+			}
+			if want := strings.Join(disjuncts, searchengine.ORSeparator); obfuscated != want {
+				t.Fatalf("obfuscated = %q, want joined disjuncts %q", obfuscated, want)
+			}
+			// GooPIR matches the fake term counts to the real query's shape.
+			for i, d := range disjuncts {
+				if got := len(strings.Fields(d)); got != 2 {
+					t.Errorf("disjunct %d = %q has %d terms, want 2", i, d, got)
+				}
+			}
+		})
+	}
+}
+
+func TestSearchSendsORGroupUnderUserIdentity(t *testing.T) {
+	uni := testUniverse(t)
+	dict := NewDictionary(uni)
+	match := uni.Topics[0].Terms[0]
+	backend := &recordingBackend{page: []searchengine.Result{
+		{DocID: 1, Terms: []string{match}},
+		{DocID: 2, Terms: []string{"zzzunrelated"}},
+	}}
+	c := NewClient("alice", backend, dict, transport.DefaultModel(1), 4, 3)
+
+	results, latency, err := c.Search(match+" "+uni.Topics[0].Terms[1], time.Unix(0, 0))
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if len(backend.sources) != 1 || backend.sources[0] != "alice" {
+		t.Fatalf("engine saw sources %v, want exactly [alice]: GooPIR does not hide identity", backend.sources)
+	}
+	if !strings.Contains(backend.queries[0], searchengine.ORSeparator) {
+		t.Fatalf("engine query %q is not an OR group", backend.queries[0])
+	}
+	// Client-side filtering keeps only results sharing a real-query term.
+	if len(results) != 1 || results[0].DocID != 1 {
+		t.Fatalf("filtered results = %+v, want only DocID 1", results)
+	}
+	if latency <= 0 {
+		t.Fatalf("latency = %v, want > 0 (one engine RTT)", latency)
+	}
+}

@@ -1,0 +1,149 @@
+package peas
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"cyclosa/internal/searchengine"
+	"cyclosa/internal/transport"
+)
+
+// recordingBackend captures engine calls and serves a canned page.
+type recordingBackend struct {
+	sources []string
+	queries []string
+	page    []searchengine.Result
+}
+
+func (b *recordingBackend) Search(source, query string, _ time.Time) ([]searchengine.Result, error) {
+	b.sources = append(b.sources, source)
+	b.queries = append(b.queries, query)
+	return b.page, nil
+}
+
+func TestCooccurrenceGenerate(t *testing.T) {
+	tests := []struct {
+		name      string
+		seedWith  [][]string
+		length    int
+		wantEmpty bool
+		wantTerms int
+	}{
+		{"empty matrix yields nothing", nil, 3, true, 0},
+		{"single query, length 1", [][]string{{"alpha", "beta"}}, 1, false, 1},
+		{"single query, length 3", [][]string{{"alpha", "beta"}}, 3, false, 3},
+		{"zero length defaults to one", [][]string{{"alpha", "beta"}}, 0, false, 1},
+		{"several queries", [][]string{{"a", "b"}, {"b", "c"}, {"c", "d", "e"}}, 4, false, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := NewCooccurrence()
+			for _, q := range tt.seedWith {
+				c.Add(q)
+			}
+			got := c.Generate(rand.New(rand.NewSource(5)), tt.length)
+			if tt.wantEmpty {
+				if got != "" {
+					t.Fatalf("Generate on empty matrix = %q, want empty", got)
+				}
+				return
+			}
+			if n := len(strings.Fields(got)); n != tt.wantTerms {
+				t.Fatalf("Generate(%d) = %q with %d terms, want %d", tt.length, got, n, tt.wantTerms)
+			}
+		})
+	}
+}
+
+func TestCooccurrenceWalkStaysOnSeenTerms(t *testing.T) {
+	c := NewCooccurrence()
+	c.Add([]string{"north", "south"})
+	c.Add([]string{"south", "east"})
+	if got := c.Terms(); got != 3 {
+		t.Fatalf("Terms() = %d, want 3", got)
+	}
+	seen := map[string]bool{"north": true, "south": true, "east": true}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		for _, term := range strings.Fields(c.Generate(rng, 3)) {
+			if !seen[term] {
+				t.Fatalf("generated term %q was never added", term)
+			}
+		}
+	}
+}
+
+func TestProxyStripsIdentityFromEngine(t *testing.T) {
+	backend := &recordingBackend{page: []searchengine.Result{
+		{DocID: 1, Terms: []string{"vacation"}},
+		{DocID: 2, Terms: []string{"noise"}},
+	}}
+	issuer := NewIssuer(backend, 3, 21)
+	proxy := NewProxy(issuer, transport.DefaultModel(2))
+
+	results, latency, err := proxy.Search("bob", "vacation plans", time.Unix(0, 0))
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	for _, src := range backend.sources {
+		if src != IssuerSource {
+			t.Fatalf("engine saw source %q, want only %q: PEAS must hide user identity", src, IssuerSource)
+		}
+	}
+	if !strings.Contains(backend.queries[0], searchengine.ORSeparator) {
+		t.Fatalf("engine query %q is not an OR group", backend.queries[0])
+	}
+	if len(results) != 1 || results[0].DocID != 1 {
+		t.Fatalf("filtered results = %+v, want only DocID 1", results)
+	}
+	if latency <= 0 {
+		t.Fatalf("latency = %v, want > 0 (two proxy hops + engine RTT)", latency)
+	}
+}
+
+func TestObfuscateGroupShape(t *testing.T) {
+	tests := []struct {
+		name  string
+		k     int
+		wantN int
+	}{
+		{"default k", 0, 4},
+		{"k=1", 1, 2},
+		{"k=3", 3, 4},
+		{"k=7", 7, 8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			backend := &recordingBackend{}
+			issuer := NewIssuer(backend, tt.k, 33)
+			// Seed the matrix so fakes are not the degenerate real-query copy.
+			issuer.Cooccurrence().Add([]string{"red", "green"})
+			issuer.Cooccurrence().Add([]string{"green", "blue"})
+			proxy := NewProxy(issuer, transport.DefaultModel(2))
+
+			_, disjuncts, realIdx, err := proxy.Obfuscate("red shoes", time.Unix(0, 0))
+			if err != nil {
+				t.Fatalf("Obfuscate: %v", err)
+			}
+			if len(disjuncts) != tt.wantN {
+				t.Fatalf("got %d disjuncts, want %d (k+1)", len(disjuncts), tt.wantN)
+			}
+			if disjuncts[realIdx] != "red shoes" {
+				t.Fatalf("disjunct at real index = %q, want the real query", disjuncts[realIdx])
+			}
+		})
+	}
+}
+
+func TestIssuerLearnsFromForwardedQueries(t *testing.T) {
+	issuer := NewIssuer(&recordingBackend{}, 3, 44)
+	proxy := NewProxy(issuer, transport.DefaultModel(3))
+	if _, _, err := proxy.Search("carol", "quantum chemistry basics", time.Unix(0, 0)); err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if got := issuer.Cooccurrence().Terms(); got != 3 {
+		t.Fatalf("matrix knows %d terms after one 3-term query, want 3", got)
+	}
+}

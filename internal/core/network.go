@@ -3,8 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"hash/maphash"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cyclosa/internal/enclave"
@@ -22,6 +23,13 @@ import (
 // Fig 8a) to k=7 (1.226 s, Fig 8b) implies ≈84 ms per additional request on
 // their testbed.
 const DefaultClientSendCost = 84 * time.Millisecond
+
+// pairShardCount is the number of independent locks the pair/session map is
+// spread over. Forwards between different (client, relay) pairs only contend
+// when their keys hash to the same shard, so the host-side session lookup
+// stops being a global choke point (X-Search's measured bottleneck is exactly
+// this host-side locking, not the enclave crypto).
+const pairShardCount = 64
 
 // NetworkOptions configures the in-process CYCLOSA deployment.
 type NetworkOptions struct {
@@ -54,25 +62,45 @@ type NetworkOptions struct {
 // on genuine platforms, a shared IAS, a converged peer-sampling overlay and
 // a latency model. Message exchange is synchronous; latencies are sampled
 // and accounted rather than slept, so large deployments simulate quickly.
+//
+// The hot path (forward) is safe for concurrent use by many client
+// goroutines and avoids global locks: node and order maps are immutable
+// after construction, the pair/session map is sharded across
+// pairShardCount locks, the request counter is atomic, and liveness is a
+// read-mostly RWMutex. Kill, Alive, StartGossip and StopGossip may be
+// called while forwards are in flight.
 type Network struct {
-	mu             sync.Mutex
+	// Immutable after NewNetwork returns.
 	nodes          map[string]*Node
 	order          []string
-	dead           map[string]struct{}
-	pairs          map[pairKey]*pairState
 	engine         Backend
 	model          *transport.Model
 	ias            *enclave.IAS
 	verifier       *enclave.Verifier
 	rpsNet         *rps.Network
-	rng            *rand.Rand
 	clientSendCost time.Duration
-	requestCounter uint64
-	gossipStop     chan struct{}
-	gossipDone     chan struct{}
+	pairSeed       maphash.Seed
+
+	// deadMu guards dead: written by Kill, read on every forward.
+	deadMu sync.RWMutex
+	dead   map[string]struct{}
+
+	// pairShards holds the per-(client, relay) attested session states.
+	pairShards [pairShardCount]pairShard
+
+	requestCounter atomic.Uint64
+
+	gossipMu   sync.Mutex
+	gossipStop chan struct{}
+	gossipDone chan struct{}
 }
 
 type pairKey struct{ client, relay string }
+
+type pairShard struct {
+	mu sync.RWMutex
+	m  map[pairKey]*pairState
+}
 
 type pairState struct {
 	mu     sync.Mutex
@@ -106,14 +134,16 @@ func NewNetwork(opts NetworkOptions) (*Network, error) {
 	net := &Network{
 		nodes:          make(map[string]*Node, opts.Nodes),
 		dead:           make(map[string]struct{}),
-		pairs:          make(map[pairKey]*pairState),
 		engine:         opts.Backend,
 		model:          opts.LatencyModel,
 		ias:            ias,
 		verifier:       verifier,
 		rpsNet:         rpsNet,
-		rng:            rand.New(rand.NewSource(opts.Seed)),
 		clientSendCost: opts.ClientSendCost,
+		pairSeed:       maphash.MakeSeed(),
+	}
+	for i := range net.pairShards {
+		net.pairShards[i].m = make(map[pairKey]*pairState)
 	}
 
 	for i, id := range rpsNet.NodeIDs() {
@@ -154,36 +184,33 @@ func (net *Network) BootstrapFromTrending(uni *queries.Universe, n int, seed int
 	}
 }
 
-// Node returns the node with the given ID, or nil.
+// Node returns the node with the given ID, or nil. The node set is fixed at
+// construction, so no locking is needed.
 func (net *Network) Node(id string) *Node {
-	net.mu.Lock()
-	defer net.mu.Unlock()
 	return net.nodes[id]
 }
 
 // NodeIDs returns all node IDs in stable order.
 func (net *Network) NodeIDs() []string {
-	net.mu.Lock()
-	defer net.mu.Unlock()
 	out := make([]string, len(net.order))
 	copy(out, net.order)
 	return out
 }
 
 // Kill marks a node unreachable: forwards to it fail and the overlay heals
-// around it.
+// around it. Safe to call while forwards are in flight.
 func (net *Network) Kill(id string) {
-	net.mu.Lock()
+	net.deadMu.Lock()
 	net.dead[id] = struct{}{}
-	net.mu.Unlock()
+	net.deadMu.Unlock()
 	net.rpsNet.Kill(rps.NodeID(id))
 }
 
 // Alive reports whether a node is reachable.
 func (net *Network) Alive(id string) bool {
-	net.mu.Lock()
-	defer net.mu.Unlock()
+	net.deadMu.RLock()
 	_, dead := net.dead[id]
+	net.deadMu.RUnlock()
 	return !dead
 }
 
@@ -194,10 +221,10 @@ func (net *Network) Gossip(rounds int) { net.rpsNet.Run(rounds) }
 // every interval, keeping the overlay a "continuously changing random
 // topology" (§V-E) in long-running deployments. It returns immediately;
 // call StopGossip to stop the loop and wait for it to exit. Starting twice
-// without stopping is an error.
+// without stopping is an error. Safe to call while forwards are in flight.
 func (net *Network) StartGossip(interval time.Duration) error {
-	net.mu.Lock()
-	defer net.mu.Unlock()
+	net.gossipMu.Lock()
+	defer net.gossipMu.Unlock()
 	if net.gossipStop != nil {
 		return errors.New("core: gossip loop already running")
 	}
@@ -223,10 +250,10 @@ func (net *Network) StartGossip(interval time.Duration) error {
 // StopGossip signals the gossip loop to stop and waits for it to exit. It
 // is a no-op when the loop is not running.
 func (net *Network) StopGossip() {
-	net.mu.Lock()
+	net.gossipMu.Lock()
 	stop, done := net.gossipStop, net.gossipDone
 	net.gossipStop, net.gossipDone = nil, nil
-	net.mu.Unlock()
+	net.gossipMu.Unlock()
 	if stop == nil {
 		return
 	}
@@ -241,9 +268,7 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 	if !net.Alive(relayID) {
 		return nil, 0, ErrRelayUnavailable
 	}
-	net.mu.Lock()
 	relay := net.nodes[relayID]
-	net.mu.Unlock()
 	if relay == nil {
 		return nil, 0, fmt.Errorf("%w: unknown relay %s", ErrRelayUnavailable, relayID)
 	}
@@ -252,6 +277,9 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 	if err != nil {
 		return nil, 0, err
 	}
+	// The secure channel enforces strictly increasing record sequence
+	// numbers, so the encrypt → relay → decrypt exchange of one pair is a
+	// critical section; distinct pairs proceed in parallel.
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 
@@ -290,17 +318,37 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 	return resp, latency, nil
 }
 
+// pairShardFor hashes a pair key onto its shard.
+func (net *Network) pairShardFor(key pairKey) *pairShard {
+	var h maphash.Hash
+	h.SetSeed(net.pairSeed)
+	h.WriteString(key.client)
+	h.WriteByte(0)
+	h.WriteString(key.relay)
+	return &net.pairShards[h.Sum64()%pairShardCount]
+}
+
 // pair returns (establishing on first use) the attested session state
-// between client and relay.
+// between client and relay. The read path takes only a shard read lock;
+// first use upgrades to the shard write lock to insert the state, and the
+// attestation handshake itself runs under the pair's own lock so other
+// shard entries stay available.
 func (net *Network) pair(client *Node, relay *Node) (*pairState, error) {
 	key := pairKey{client.id, relay.id}
-	net.mu.Lock()
-	ps, ok := net.pairs[key]
+	shard := net.pairShardFor(key)
+
+	shard.mu.RLock()
+	ps, ok := shard.m[key]
+	shard.mu.RUnlock()
 	if !ok {
-		ps = &pairState{}
-		net.pairs[key] = ps
+		shard.mu.Lock()
+		ps, ok = shard.m[key]
+		if !ok {
+			ps = &pairState{}
+			shard.m[key] = ps
+		}
+		shard.mu.Unlock()
 	}
-	net.mu.Unlock()
 
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
@@ -325,9 +373,11 @@ func (net *Network) RelayRoundTrip(client *Node, relayID, query string, now time
 	return err
 }
 
+// RequestCount returns the total number of forward requests issued so far.
+func (net *Network) RequestCount() uint64 {
+	return net.requestCounter.Load()
+}
+
 func (net *Network) nextRequestID() uint64 {
-	net.mu.Lock()
-	defer net.mu.Unlock()
-	net.requestCounter++
-	return net.requestCounter
+	return net.requestCounter.Add(1)
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cyclosa/internal/enclave"
@@ -60,6 +61,27 @@ type NodeStats struct {
 	Blacklisted uint64
 }
 
+// nodeCounters is the lock-free internal form of NodeStats: every counter is
+// bumped on the forward hot path, so they are atomics rather than fields
+// behind the node mutex.
+type nodeCounters struct {
+	searches     atomic.Uint64
+	fakesSent    atomic.Uint64
+	relayed      atomic.Uint64
+	engineErrors atomic.Uint64
+	blacklisted  atomic.Uint64
+}
+
+func (c *nodeCounters) snapshot() NodeStats {
+	return NodeStats{
+		Searches:     c.searches.Load(),
+		FakesSent:    c.fakesSent.Load(),
+		Relayed:      c.relayed.Load(),
+		EngineErrors: c.engineErrors.Load(),
+		Blacklisted:  c.blacklisted.Load(),
+	}
+}
+
 // SearchResult is the outcome of one protected search.
 type SearchResult struct {
 	// Results is the result page of the real query.
@@ -81,8 +103,10 @@ type SearchResult struct {
 
 // enclaveState is the data owned by the enclave: responder-side sessions and
 // the past-query table. Host code interacts with it only through ecalls.
+// Session lookup happens on every relayed request while admission only on
+// first contact, so the map is behind an RWMutex.
 type enclaveState struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	sessions map[string]*securechan.Session
 	table    *PastQueryTable
 }
@@ -99,10 +123,12 @@ type Node struct {
 	backend    Backend
 	net        *Network
 
+	// mu guards rng (the only remaining mutable non-atomic client state;
+	// counters are atomics so relays never contend on a client's mutex).
+	// Client-side session state lives in the network's sharded pair map.
 	mu           sync.Mutex
 	rng          *rand.Rand
-	clientSess   map[string]*securechan.Session
-	stats        NodeStats
+	stats        nodeCounters
 	relayTimeout time.Duration
 }
 
@@ -144,7 +170,6 @@ func newNode(opts NodeOptions, platform *enclave.Platform, verifier *enclave.Ver
 		backend:      backend,
 		net:          net,
 		rng:          rand.New(rand.NewSource(opts.Seed)),
-		clientSess:   make(map[string]*securechan.Session),
 		relayTimeout: opts.RelayTimeout,
 	}
 	n.registerECalls()
@@ -165,9 +190,9 @@ func (n *Node) registerECalls() {
 		if err := json.Unmarshal(args, &in); err != nil {
 			return nil, fmt.Errorf("forward args: %w", err)
 		}
-		n.state.mu.Lock()
+		n.state.mu.RLock()
 		sess := n.state.sessions[in.From]
-		n.state.mu.Unlock()
+		n.state.mu.RUnlock()
 		if sess == nil {
 			return nil, fmt.Errorf("forward: no session with %s", in.From)
 		}
@@ -223,9 +248,7 @@ func (n *Node) registerECalls() {
 		}
 		results, err := n.backend.Search(call.Source, call.Query, time.Unix(0, call.NowNano))
 		if err != nil {
-			n.mu.Lock()
-			n.stats.EngineErrors++
-			n.mu.Unlock()
+			n.stats.engineErrors.Add(1)
 			return nil, err
 		}
 		return json.Marshal(results)
@@ -260,9 +283,7 @@ func (n *Node) TableLen() int { return n.state.table.Len() }
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() NodeStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return n.stats.snapshot()
 }
 
 // BootstrapTable fills the past-query table (Google-Trends bootstrap, §V-D).
@@ -281,9 +302,7 @@ func (n *Node) admitSession(peer string, sess *securechan.Session) {
 // handleForward is the host-side entry point of the relay: it passes the
 // encrypted request through the call gate.
 func (n *Node) handleForward(from string, payload []byte, now time.Time) ([]byte, error) {
-	n.mu.Lock()
-	n.stats.Relayed++
-	n.mu.Unlock()
+	n.stats.relayed.Add(1)
 	return n.encl.Call("forward", mustJSON(struct {
 		From    string `json:"from"`
 		Payload []byte `json:"payload"`
@@ -365,9 +384,7 @@ func (n *Node) Search(query string, now time.Time) (*SearchResult, error) {
 	for o := range outcomes {
 		if !o.real {
 			if o.err == nil {
-				n.mu.Lock()
-				n.stats.FakesSent++
-				n.mu.Unlock()
+				n.stats.fakesSent.Add(1)
 			}
 			continue // responses to fake queries are silently dropped
 		}
@@ -387,9 +404,7 @@ func (n *Node) Search(query string, now time.Time) (*SearchResult, error) {
 		return res, realErr
 	}
 
-	n.mu.Lock()
-	n.stats.Searches++
-	n.mu.Unlock()
+	n.stats.searches.Add(1)
 	return res, nil
 }
 
@@ -415,9 +430,7 @@ func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rp
 		// Unresponsive relay: pay the timeout, blacklist, pick another.
 		total += n.relayTimeout
 		n.peers.Blacklist(rps.NodeID(current))
-		n.mu.Lock()
-		n.stats.Blacklisted++
-		n.mu.Unlock()
+		n.stats.blacklisted.Add(1)
 		next := ""
 		for _, cand := range n.peers.Sample(8) {
 			if _, used := tried[string(cand)]; !used {

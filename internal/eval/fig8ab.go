@@ -14,6 +14,7 @@ import (
 	"cyclosa/internal/sensitivity"
 	"cyclosa/internal/stats"
 	"cyclosa/internal/transport"
+	"cyclosa/internal/workload"
 )
 
 // LatencySeries is one CDF series of Fig 8a/8b.
@@ -131,6 +132,17 @@ func RunLatency(w *World, opts LatencyOptions) (*LatencyResult, error) {
 }
 
 // cyclosaLatencies runs the sample through a real core network at fixed k.
+// The replay parallelizes across client nodes via the workload engine:
+// client c drives node c with trace entries c, c+n, c+2n, ..., so an
+// n-client run covers exactly the sample while the de-serialized network
+// handles the concurrent forwards. The query-to-client assignment is
+// deterministic, but the reported latencies are not reproducible
+// bit-for-bit across identically-seeded runs: concurrent forwards
+// interleave their draws from the network's shared latency-model RNG, so
+// the per-query sums regroup differently per run. The figure's medians and
+// CDF shape are statistically equivalent across runs, not identical — the
+// price of parallel replay; restoring exact determinism would need
+// per-request seeded latency sampling.
 func cyclosaLatencies(w *World, engine *searchengine.Engine, sample []queries.Query, k, nodes int) ([]time.Duration, error) {
 	net, err := core.NewNetwork(core.NetworkOptions{
 		Nodes:   nodes,
@@ -151,14 +163,35 @@ func cyclosaLatencies(w *World, engine *searchengine.Engine, sample []queries.Qu
 
 	now := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
 	ids := net.NodeIDs()
-	out := make([]time.Duration, 0, len(sample))
+	clients := len(ids)
+	if clients > len(sample) {
+		clients = len(sample)
+	}
+	texts := make([]string, len(sample))
 	for i, q := range sample {
-		node := net.Node(ids[i%len(ids)])
-		sr, err := node.Search(q.Text, now)
-		if err != nil {
-			return nil, fmt.Errorf("cyclosa search: %w", err)
-		}
-		out = append(out, sr.Latency)
+		texts[i] = q.Text
+	}
+	out := make([]time.Duration, len(sample))
+	res, err := workload.Run(
+		func(client, seq int, query string) error {
+			sr, err := net.Node(ids[client]).Search(query, now)
+			if err != nil {
+				return err
+			}
+			out[seq] = sr.Latency
+			return nil
+		},
+		workload.Options{
+			Clients:   clients,
+			Ops:       len(sample),
+			Generator: workload.ReplayQueries(texts),
+			FailFast:  true,
+		})
+	if err != nil {
+		return nil, err
+	}
+	if res.FirstErr != nil {
+		return nil, fmt.Errorf("cyclosa search: %w", res.FirstErr)
 	}
 	return out, nil
 }

@@ -3,7 +3,6 @@ package eval
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"cyclosa/internal/baselines/xsearch"
@@ -12,6 +11,7 @@ import (
 	"cyclosa/internal/sensitivity"
 	"cyclosa/internal/stats"
 	"cyclosa/internal/transport"
+	"cyclosa/internal/workload"
 )
 
 // ThroughputPoint is one (offered rate, achieved rate, latency) sample of
@@ -41,7 +41,8 @@ type ThroughputOptions struct {
 	Rates []float64
 	// Duration per rate step (default 300 ms — raise for stable numbers).
 	Duration time.Duration
-	// Workers is the closed-loop client count (default 8).
+	// Workers is the number of concurrent clients pacing out each offered
+	// rate (default 8).
 	Workers int
 }
 
@@ -70,7 +71,7 @@ func RunThroughput(w *World, opts ThroughputOptions) (*ThroughputResult, error) 
 		return nil, err
 	}
 	for _, rate := range opts.Rates {
-		res.Cyclosa = append(res.Cyclosa, runClosedLoop(cycloHandler, rate, opts.Duration, opts.Workers))
+		res.Cyclosa = append(res.Cyclosa, runAtOfferedRate(cycloHandler, rate, opts.Duration, opts.Workers))
 	}
 
 	// X-SEARCH proxy: secure channel termination + OR-group obfuscation +
@@ -80,54 +81,30 @@ func RunThroughput(w *World, opts ThroughputOptions) (*ThroughputResult, error) 
 		return nil, err
 	}
 	for _, rate := range opts.Rates {
-		res.XSearch = append(res.XSearch, runClosedLoop(xsHandler, rate, opts.Duration, opts.Workers))
+		res.XSearch = append(res.XSearch, runAtOfferedRate(xsHandler, rate, opts.Duration, opts.Workers))
 	}
 	return res, nil
 }
 
-// runClosedLoop drives worker goroutines in a closed loop with an offered
-// rate pacer and returns the achieved throughput and latency distribution.
-func runClosedLoop(handler func(worker int) error, rate float64, duration time.Duration, workers int) ThroughputPoint {
-	interval := time.Duration(float64(time.Second) / rate * float64(workers))
-	var (
-		mu        sync.Mutex
-		latencies []float64
-		count     int
-	)
-	start := time.Now()
-	deadline := start.Add(duration)
-	var wg sync.WaitGroup
-	for wkr := 0; wkr < workers; wkr++ {
-		wg.Add(1)
-		go func(wkr int) {
-			defer wg.Done()
-			next := time.Now()
-			for time.Now().Before(deadline) {
-				if wait := time.Until(next); wait > 0 {
-					time.Sleep(wait)
-				}
-				next = next.Add(interval)
-				t0 := time.Now()
-				if err := handler(wkr); err != nil {
-					continue
-				}
-				lat := time.Since(t0)
-				mu.Lock()
-				latencies = append(latencies, lat.Seconds())
-				count++
-				mu.Unlock()
-			}
-		}(wkr)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
+// runAtOfferedRate drives worker goroutines through the workload engine in
+// open-loop mode at the offered rate and returns the achieved throughput
+// and latency distribution.
+func runAtOfferedRate(handler func(worker int) error, rate float64, duration time.Duration, workers int) ThroughputPoint {
+	res, err := workload.Run(
+		func(client, _ int, _ string) error { return handler(client) },
+		workload.Options{
+			Clients:  workers,
+			Duration: duration,
+			Rate:     rate,
+			Warmup:   1, // establish the attested channels off the clock
+		})
 	p := ThroughputPoint{OfferedRate: rate}
-	if count > 0 {
-		p.AchievedRate = float64(count) / elapsed.Seconds()
-		p.MedianLatency = time.Duration(stats.Median(latencies) * float64(time.Second))
-		p.P99Latency = time.Duration(stats.Percentile(latencies, 99) * float64(time.Second))
+	if err != nil || res.Ops == 0 {
+		return p
 	}
+	p.AchievedRate = res.Throughput
+	p.MedianLatency = time.Duration(res.Latency.Median * float64(time.Second))
+	p.P99Latency = time.Duration(res.Latency.P99 * float64(time.Second))
 	return p
 }
 

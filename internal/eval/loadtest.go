@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cyclosa/internal/core"
+	"cyclosa/internal/queries"
+	"cyclosa/internal/sensitivity"
+	"cyclosa/internal/transport"
+	"cyclosa/internal/workload"
+)
+
+// LoadTestOptions configures the standalone forward-path load test driven by
+// cmd/cyclosa-bench's -concurrency / -duration / -workload flags.
+type LoadTestOptions struct {
+	// Seed drives network and workload randomness.
+	Seed int64
+	// Concurrency is the number of concurrent client goroutines (default 8).
+	Concurrency int
+	// Duration is the measured window per run (default 1 s).
+	Duration time.Duration
+	// Workload selects the query generator: fixed | zipf | trace.
+	Workload string
+	// Rate is the aggregate open-loop offered rate in req/s (0 = closed
+	// loop, saturating the relay).
+	Rate float64
+	// Nodes sizes the network (default Concurrency+1: one relay, the rest
+	// clients).
+	Nodes int
+	// CompareSerial additionally measures a single-client closed-loop run
+	// on a fresh network and reports the speedup — the serial-vs-concurrent
+	// headline of the de-serialized hot path. It is ignored when Rate > 0:
+	// a rate-capped baseline would compare two paced runs and say nothing
+	// about the path's capacity.
+	CompareSerial bool
+	// TraceQueries is the mean per-user query count used to synthesize the
+	// trace for -workload trace (default 40).
+	TraceQueries int
+}
+
+// LoadTestResult is the outcome of a load test run.
+type LoadTestResult struct {
+	Workload   string
+	Concurrent *workload.Result
+	Serial     *workload.Result // nil unless CompareSerial
+}
+
+// RunLoadTest hammers one relay of a NullBackend network through the full
+// forward path (client encrypt → relay ecall: decrypt, record, encrypt →
+// client decrypt). Unlike the figure drivers it needs no World: the
+// universe (and, for trace replay, a synthetic log) is built on the spot,
+// so the load test starts in milliseconds.
+func RunLoadTest(opts LoadTestOptions) (*LoadTestResult, error) {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Duration == 0 {
+		opts.Duration = time.Second
+	}
+	if opts.Nodes == 0 {
+		opts.Nodes = opts.Concurrency + 1
+	}
+	if opts.Nodes < 2 {
+		opts.Nodes = 2
+	}
+	if opts.TraceQueries == 0 {
+		opts.TraceQueries = 40
+	}
+
+	uni := queries.NewUniverse(queries.UniverseConfig{Seed: opts.Seed})
+	var trace []string
+	if opts.Workload == "trace" {
+		log := queries.Generate(queries.GeneratorConfig{
+			Seed:               opts.Seed,
+			Universe:           uni,
+			NumUsers:           opts.Concurrency,
+			MeanQueriesPerUser: opts.TraceQueries,
+		})
+		for _, q := range log.Queries {
+			trace = append(trace, q.Text)
+		}
+	}
+	gen, err := workload.ParseGenerator(opts.Workload, uni, trace, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &LoadTestResult{Workload: opts.Workload}
+	if res.Workload == "" {
+		res.Workload = "fixed"
+	}
+
+	run := func(clients int, gen workload.Generator) (*workload.Result, error) {
+		net, err := newLoadTestNetwork(opts.Seed, opts.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		ids := net.NodeIDs()
+		relay := ids[0]
+		now := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+		return workload.Run(
+			func(client, _ int, query string) error {
+				c := net.Node(ids[1+client%(len(ids)-1)])
+				return net.RelayRoundTrip(c, relay, query, now)
+			},
+			workload.Options{
+				Clients:   clients,
+				Duration:  opts.Duration,
+				Rate:      opts.Rate,
+				Generator: gen,
+				Warmup:    2, // attested handshakes happen off the clock
+			})
+	}
+
+	if opts.CompareSerial && opts.Rate == 0 {
+		serial, err := run(1, gen)
+		if err != nil {
+			return nil, err
+		}
+		res.Serial = serial
+	}
+	conc, err := run(opts.Concurrency, gen)
+	if err != nil {
+		return nil, err
+	}
+	res.Concurrent = conc
+	return res, nil
+}
+
+// newLoadTestNetwork builds the measured deployment: NullBackend, zero
+// simulated latency (wall time is the measurement), no analyzer.
+func newLoadTestNetwork(seed int64, nodes int) (*core.Network, error) {
+	net, err := core.NewNetwork(core.NetworkOptions{
+		Nodes:        nodes,
+		Seed:         seed + 900,
+		Backend:      core.NullBackend{},
+		LatencyModel: transport.NewModel(seed+900, nil, 0),
+		AnalyzerFor:  func(string) *sensitivity.Analyzer { return nil },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadtest network: %w", err)
+	}
+	return net, nil
+}
+
+// Speedup returns concurrent/serial throughput (0 when no serial baseline
+// was measured).
+func (r *LoadTestResult) Speedup() float64 {
+	if r.Serial == nil || r.Serial.Throughput == 0 {
+		return 0
+	}
+	return r.Concurrent.Throughput / r.Serial.Throughput
+}
+
+// String renders the load test report.
+func (r *LoadTestResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Load test: forward path, %s workload\n", r.Workload)
+	if r.Serial != nil {
+		b.WriteString("serial baseline (1 client):\n")
+		b.WriteString(indent(r.Serial.String()))
+	}
+	fmt.Fprintf(&b, "concurrent (%d clients):\n", r.Concurrent.Clients)
+	b.WriteString(indent(r.Concurrent.String()))
+	if s := r.Speedup(); s > 0 {
+		fmt.Fprintf(&b, "speedup: %.2fx over the serial path\n", s)
+	}
+	return b.String()
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadTestWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time load test")
+	}
+	for _, wl := range []string{"fixed", "zipf", "trace"} {
+		t.Run(wl, func(t *testing.T) {
+			res, err := RunLoadTest(LoadTestOptions{
+				Seed:        5,
+				Concurrency: 4,
+				Duration:    100 * time.Millisecond,
+				Workload:    wl,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Concurrent.Ops == 0 {
+				t.Fatal("no forwards completed")
+			}
+			if res.Concurrent.Errors != 0 {
+				t.Fatalf("%d forwards failed on a healthy NullBackend network", res.Concurrent.Errors)
+			}
+			if res.Serial != nil {
+				t.Fatal("serial baseline measured without CompareSerial")
+			}
+			if !strings.Contains(res.String(), "concurrent (4 clients)") {
+				t.Fatalf("report missing concurrency header:\n%s", res)
+			}
+		})
+	}
+}
+
+func TestLoadTestSerialComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time load test")
+	}
+	res, err := RunLoadTest(LoadTestOptions{
+		Seed:          6,
+		Concurrency:   8,
+		Duration:      150 * time.Millisecond,
+		CompareSerial: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Serial == nil || res.Serial.Ops == 0 {
+		t.Fatal("serial baseline missing or empty")
+	}
+	// A rate-capped run must not measure a (meaningless) paced baseline.
+	rated, err := RunLoadTest(LoadTestOptions{
+		Seed:          6,
+		Concurrency:   4,
+		Duration:      100 * time.Millisecond,
+		Rate:          200,
+		CompareSerial: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rated.Serial != nil {
+		t.Fatal("serial baseline measured despite Rate > 0")
+	}
+	if rated.Speedup() != 0 {
+		t.Fatalf("speedup = %v without a baseline, want 0", rated.Speedup())
+	}
+	if res.Speedup() <= 0 {
+		t.Fatalf("speedup = %v, want > 0", res.Speedup())
+	}
+	// The de-serialized hot path only shows parallel speedup when there is
+	// hardware to run on; single-core CI boxes can't demonstrate it.
+	if runtime.NumCPU() >= 4 && res.Speedup() < 1.5 {
+		t.Errorf("speedup %.2fx with %d CPUs — hot path appears serialized",
+			res.Speedup(), runtime.NumCPU())
+	}
+}

@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram. Buckets are defined by ascending
+// upper bounds; a final implicit overflow bucket catches samples above the
+// last bound. It is not safe for concurrent use — concurrent recorders keep
+// one histogram each and Merge them when done, which is how the workload
+// engine aggregates per-client latencies without a shared lock on the hot
+// path.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; len(counts) == len(bounds)+1
+	counts []uint64
+	n      uint64
+	sum    float64
+	sumsq  float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram over the given ascending bucket upper
+// bounds. Bounds are copied.
+func NewHistogram(bounds []float64) *Histogram {
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	return &Histogram{
+		bounds: cp,
+		counts: make([]uint64, len(cp)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// NewLatencyHistogram builds a histogram with logarithmically spaced bounds
+// covering 1 µs to 1000 s (in seconds), 9 buckets per decade — enough
+// resolution for the latency distributions of the evaluation figures.
+func NewLatencyHistogram() *Histogram {
+	var bounds []float64
+	for decade := -6; decade < 3; decade++ {
+		base := math.Pow(10, float64(decade))
+		for _, m := range []float64{1, 1.5, 2, 3, 4, 5, 6.5, 8} {
+			bounds = append(bounds, m*base)
+		}
+	}
+	bounds = append(bounds, 1000)
+	return NewHistogram(bounds)
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.counts[h.bucket(x)]++
+	h.n++
+	h.sum += x
+	h.sumsq += x * x
+	if x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+}
+
+// bucket returns the index of the first bound >= x (binary search), or
+// len(bounds) for overflow.
+func (h *Histogram) bucket(x float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Merge folds o into h. The two histograms must share bucket bounds (as two
+// NewLatencyHistogram instances do); Merge panics otherwise, since merging
+// mismatched buckets silently corrupts every quantile derived later.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.bounds) != len(o.bounds) {
+		panic("stats: merging histograms with different bucket layouts")
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != o.bounds[i] {
+			panic("stats: merging histograms with different bucket layouts")
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	h.sumsq += o.sumsq
+	if o.n > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+}
+
+// N returns the number of recorded samples.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Mean returns the exact mean of the recorded samples (sums are tracked
+// outside the buckets), or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// StdDev returns the exact population standard deviation of the recorded
+// samples (sums of squares are tracked outside the buckets), or 0 when
+// empty.
+func (h *Histogram) StdDev() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	mean := h.sum / float64(h.n)
+	v := h.sumsq/float64(h.n) - mean*mean
+	if v < 0 {
+		v = 0 // floating-point cancellation on near-constant samples
+	}
+	return math.Sqrt(v)
+}
+
+// Summary derives a Summary from the histogram: N, Min, Max, Mean and
+// StdDev are exact; the quantiles are bucket-interpolated.
+func (h *Histogram) Summary() Summary {
+	if h.n == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      int(h.n),
+		Min:    h.Min(),
+		Max:    h.Max(),
+		Mean:   h.Mean(),
+		Median: h.Quantile(0.5),
+		P90:    h.Quantile(0.9),
+		P99:    h.Quantile(0.99),
+		StdDev: h.StdDev(),
+	}
+}
+
+// Min returns the smallest recorded sample, or 0 when empty.
+func (h *Histogram) Min() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample, or 0 when empty.
+func (h *Histogram) Max() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation inside
+// the containing bucket, clamped to the observed min/max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.n)
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) < target {
+			cum += c
+			continue
+		}
+		lo := h.min
+		if i > 0 {
+			lo = math.Max(h.min, h.bounds[i-1])
+		}
+		hi := h.max
+		if i < len(h.bounds) {
+			hi = math.Min(h.max, h.bounds[i])
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (target - float64(cum)) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return h.max
+}
+
+// Buckets returns the non-empty buckets as (upper bound, count) pairs; the
+// overflow bucket reports +Inf as its bound.
+func (h *Histogram) Buckets() []BucketCount {
+	var out []BucketCount
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		out = append(out, BucketCount{UpperBound: bound, Count: c})
+	}
+	return out
+}
+
+// BucketCount is one non-empty histogram bucket.
+type BucketCount struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// String renders the non-empty buckets as a proportional bar chart.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g\n",
+		h.n, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+	buckets := h.Buckets()
+	var peak uint64
+	for _, bc := range buckets {
+		if bc.Count > peak {
+			peak = bc.Count
+		}
+	}
+	for _, bc := range buckets {
+		width := 0
+		if peak > 0 {
+			width = int(bc.Count * 40 / peak)
+		}
+		fmt.Fprintf(&b, "  <=%9.4g %8d %s\n", bc.UpperBound, bc.Count, strings.Repeat("#", width))
+	}
+	return b.String()
+}

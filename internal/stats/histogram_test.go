@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramCounts(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, x := range []float64{0.5, 1.5, 1.7, 3, 100} {
+		h.Add(x)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d, want 5", h.N())
+	}
+	if got, want := h.Mean(), (0.5+1.5+1.7+3+100)/5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	if h.Min() != 0.5 || h.Max() != 100 {
+		t.Fatalf("min/max = %v/%v, want 0.5/100", h.Min(), h.Max())
+	}
+	buckets := h.Buckets()
+	wantCounts := map[float64]uint64{1: 1, 2: 2, 4: 1, math.Inf(1): 1}
+	if len(buckets) != len(wantCounts) {
+		t.Fatalf("got %d non-empty buckets, want %d: %+v", len(buckets), len(wantCounts), buckets)
+	}
+	for _, b := range buckets {
+		if wantCounts[b.UpperBound] != b.Count {
+			t.Fatalf("bucket <=%v count = %d, want %d", b.UpperBound, b.Count, wantCounts[b.UpperBound])
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.N() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i) / 1000) // uniform on (0, 1]
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if math.Abs(got-q) > 0.1 {
+			t.Fatalf("Quantile(%v) = %v on uniform(0,1], want within 0.1", q, got)
+		}
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatal("extreme quantiles must clamp to min/max")
+	}
+	if h.Quantile(0.5) > h.Quantile(0.9) {
+		t.Fatal("quantiles must be monotone")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewLatencyHistogram(), NewLatencyHistogram()
+	for i := 0; i < 100; i++ {
+		a.Add(0.001)
+		b.Add(1.0)
+	}
+	a.Merge(b)
+	if a.N() != 200 {
+		t.Fatalf("merged N = %d, want 200", a.N())
+	}
+	if a.Min() != 0.001 || a.Max() != 1.0 {
+		t.Fatalf("merged min/max = %v/%v, want 0.001/1.0", a.Min(), a.Max())
+	}
+	if med := a.Quantile(0.5); med > 1.0 || med < 0.001 {
+		t.Fatalf("merged median %v outside sample range", med)
+	}
+}
+
+func TestHistogramMergeRejectsMismatchedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched bucket layouts must panic")
+		}
+	}()
+	NewHistogram([]float64{1, 2}).Merge(NewHistogram([]float64{1, 3}))
+}
+
+func TestLatencyHistogramBoundsAscending(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 1; i < len(h.bounds); i++ {
+		if h.bounds[i] <= h.bounds[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v <= %v", i, h.bounds[i], h.bounds[i-1])
+		}
+	}
+}

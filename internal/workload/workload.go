@@ -1,0 +1,215 @@
+// Package workload is the concurrent load-generation engine of the
+// reproduction: it drives N client goroutines against an operation (most
+// often a forward through a core.Network) and aggregates latency and
+// throughput without adding shared state to the measured hot path.
+//
+// Two loop disciplines are supported, matching the two ways the paper
+// exercises the system:
+//
+//   - closed loop (Options.Rate == 0): every client issues its next request
+//     as soon as the previous one completes — the discipline of the
+//     cyclosa-bench loadtest default and of figure replay, where the goal
+//     is to saturate the path;
+//   - open loop (Options.Rate > 0): clients issue requests on a fixed
+//     aggregate schedule regardless of completions, the discipline of an
+//     offered-rate sweep like the Fig 8c capacity curve, where the
+//     interesting signal is how far the achieved rate falls behind the
+//     offer.
+//
+// Queries come from a Generator: a fixed probe, a round-robin list, a
+// Zipf-popularity stream over a queries.Universe vocabulary (web search
+// popularity is heavy-tailed), or a trace replay over a queries.Log. Each
+// client draws from its own deterministic stream, so a run with a fixed
+// operation budget issues exactly the same multiset of queries regardless
+// of goroutine interleaving — this is what the race-proof determinism tests
+// in core assert.
+//
+// Latencies are recorded per client and merged after the run (histograms
+// via internal/stats), so the engine itself contends on nothing while the
+// clock is running.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cyclosa/internal/queries"
+)
+
+// Stream produces the queries of one client. A Stream is used by a single
+// goroutine; independence across clients is what keeps the engine's hot
+// path lock-free.
+type Stream interface {
+	// Next returns the next query to issue. Streams are infinite: they wrap
+	// around their underlying material rather than running dry.
+	Next() string
+}
+
+// Generator builds per-client query streams.
+type Generator interface {
+	// Stream returns the stream for client (0-based) out of clients total.
+	// Distinct clients' streams must be safe to use from distinct
+	// goroutines, and the sequence of each stream must depend only on
+	// (client, clients) and the generator's own configuration — never on
+	// scheduling.
+	Stream(client, clients int) Stream
+}
+
+// funcStream adapts a closure to Stream.
+type funcStream func() string
+
+func (f funcStream) Next() string { return f() }
+
+// fixed is the degenerate generator: every client issues the same query.
+type fixed string
+
+func (f fixed) Stream(int, int) Stream {
+	return funcStream(func() string { return string(f) })
+}
+
+// Fixed returns a generator that always produces q — the discipline of the
+// relay capacity benchmark, where the query content is irrelevant.
+func Fixed(q string) Generator { return fixed(q) }
+
+// roundRobin cycles a query list, client c starting at offset c.
+type roundRobin []string
+
+func (r roundRobin) Stream(client, _ int) Stream {
+	i := client % len(r)
+	return funcStream(func() string {
+		q := r[i]
+		i = (i + 1) % len(r)
+		return q
+	})
+}
+
+// RoundRobin returns a generator cycling over qs with per-client offsets.
+// It panics on an empty list (a workload with no queries is a bug at the
+// call site, not a runtime condition).
+func RoundRobin(qs []string) Generator {
+	if len(qs) == 0 {
+		panic("workload: RoundRobin with no queries")
+	}
+	cp := make([]string, len(qs))
+	copy(cp, qs)
+	return roundRobin(cp)
+}
+
+// ZipfConfig tunes the Zipf-popularity generator.
+type ZipfConfig struct {
+	// PoolSize is the number of distinct queries in the popularity pool
+	// (default 1024).
+	PoolSize int
+	// S is the Zipf exponent (> 1, default 1.2 — flat enough that the tail
+	// is exercised, skewed enough that hot queries dominate, like real web
+	// search popularity).
+	S float64
+	// Seed drives pool synthesis and every client's draw sequence.
+	Seed int64
+}
+
+// zipfGen draws queries from a synthesized pool with Zipf-distributed
+// popularity: rank 0 is the hottest query.
+type zipfGen struct {
+	pool []string
+	s    float64
+	seed int64
+}
+
+// NewZipf builds a Zipf-popularity generator over queries synthesized from
+// the universe vocabulary (two to three topic terms each, the shape of the
+// synthetic workload's queries).
+func NewZipf(uni *queries.Universe, cfg ZipfConfig) Generator {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 1024
+	}
+	if cfg.S <= 1 {
+		cfg.S = 1.2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pool := make([]string, cfg.PoolSize)
+	for i := range pool {
+		topic := uni.Topics[rng.Intn(len(uni.Topics))]
+		n := 2 + rng.Intn(2)
+		terms := make([]string, n)
+		for j := range terms {
+			terms[j] = topic.Terms[rng.Intn(len(topic.Terms))]
+		}
+		pool[i] = strings.Join(terms, " ")
+	}
+	return &zipfGen{pool: pool, s: cfg.S, seed: cfg.Seed}
+}
+
+func (g *zipfGen) Stream(client, _ int) Stream {
+	// Each client gets an independent deterministic RNG; rand.Zipf draws
+	// ranks in [0, PoolSize).
+	rng := rand.New(rand.NewSource(g.seed + 1e9 + int64(client)*7919))
+	z := rand.NewZipf(rng, g.s, 1, uint64(len(g.pool)-1))
+	return funcStream(func() string { return g.pool[z.Uint64()] })
+}
+
+// traceGen replays a recorded query log, interleaved across clients: client
+// c of n replays trace entries c, c+n, c+2n, ... in trace order, wrapping
+// at the end. The union of all client streams over one wrap is exactly the
+// trace.
+type traceGen struct {
+	texts []string
+}
+
+// Replay builds a trace-replay generator over the log's queries in log
+// order. It panics on an empty log.
+func Replay(log *queries.Log) Generator {
+	if log == nil || log.Len() == 0 {
+		panic("workload: Replay with an empty log")
+	}
+	texts := make([]string, log.Len())
+	for i, q := range log.Queries {
+		texts[i] = q.Text
+	}
+	return &traceGen{texts: texts}
+}
+
+// ReplayQueries builds a trace-replay generator over raw query strings.
+func ReplayQueries(texts []string) Generator {
+	if len(texts) == 0 {
+		panic("workload: ReplayQueries with no queries")
+	}
+	cp := make([]string, len(texts))
+	copy(cp, texts)
+	return &traceGen{texts: cp}
+}
+
+func (g *traceGen) Stream(client, clients int) Stream {
+	if clients <= 0 {
+		clients = 1
+	}
+	i := client % len(g.texts)
+	return funcStream(func() string {
+		q := g.texts[i]
+		i = (i + clients) % len(g.texts)
+		return q
+	})
+}
+
+// ParseGenerator builds a generator from a -workload style spec: "fixed"
+// (capacity probe), "zipf" (popularity stream over uni) or "trace" (replay
+// of the given texts). It is the flag-parsing seam of cmd/cyclosa-bench.
+func ParseGenerator(spec string, uni *queries.Universe, trace []string, seed int64) (Generator, error) {
+	switch spec {
+	case "", "fixed":
+		return Fixed("workload capacity probe"), nil
+	case "zipf":
+		if uni == nil {
+			return nil, fmt.Errorf("workload: zipf workload needs a universe")
+		}
+		return NewZipf(uni, ZipfConfig{Seed: seed}), nil
+	case "trace":
+		if len(trace) == 0 {
+			return nil, fmt.Errorf("workload: trace workload needs a non-empty trace")
+		}
+		return ReplayQueries(trace), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown workload %q (want fixed|zipf|trace)", spec)
+	}
+}
