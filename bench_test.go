@@ -185,6 +185,7 @@ func BenchmarkFig8cRelayThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := handler(); err != nil {
@@ -303,6 +304,7 @@ func BenchmarkSecureChannelRoundTrip(b *testing.B) {
 		b.Fatal(err)
 	}
 	msg := []byte("GET /search?q=private+web+search+with+sgx")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ct, err := sa.Encrypt(msg)
@@ -310,6 +312,49 @@ func BenchmarkSecureChannelRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := sb.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSecureChannelRoundTripAppend measures the same exchange through
+// the in-place EncryptAppend/DecryptAppend APIs with reused buffers — the
+// zero-allocation form the forward hot path uses.
+func BenchmarkSecureChannelRoundTripAppend(b *testing.B) {
+	ias := enclave.NewIAS()
+	pa, err := enclave.NewPlatform("bench-aa", ias)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pb, err := enclave.NewPlatform("bench-ab", ias)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := enclave.Config{Name: "bench", Version: 1}
+	verifier := enclave.NewVerifier(ias, enclave.MeasureCode("bench", 1))
+	ha, err := securechan.NewHandshaker(pa.New(cfg), verifier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hb, err := securechan.NewHandshaker(pb.New(cfg), verifier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sa, sb, err := securechan.EstablishPair(ha, hb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("GET /search?q=private+web+search+with+sgx")
+	ctBuf := make([]byte, 0, len(msg)+64)
+	ptBuf := make([]byte, 0, len(msg)+64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct, err := sa.EncryptAppend(ctBuf[:0], msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sb.DecryptAppend(ptBuf[:0], ct); err != nil {
 			b.Fatal(err)
 		}
 	}

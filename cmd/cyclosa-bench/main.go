@@ -7,10 +7,15 @@
 //	cyclosa-bench -exp fig5 -users 198 -seed 1
 //	cyclosa-bench -exp fig8c -duration 2s -concurrency 16
 //	cyclosa-bench -exp loadtest -concurrency 32 -duration 2s -workload zipf
+//	cyclosa-bench -exp relay -json BENCH_relay.json
 //
 // Experiments: table1, crowd, table2, fig5, fig6, fig7, fig8a, fig8b,
-// fig8c, fig8d, loadtest, all (everything except the real-time fig8c and
-// loadtest unless explicitly requested).
+// fig8c, fig8d, loadtest, relay, all (everything except the real-time
+// fig8c, loadtest and relay unless explicitly requested).
+//
+// The relay experiment measures the single-relay forward hot path (the
+// binary wire codec + pooled-buffer round trip) in a closed loop and can
+// emit the measurement as JSON (-json) for CI perf tracking.
 //
 // The loadtest experiment drives the concurrent workload engine
 // (internal/workload) against the full forward path of one relay with a
@@ -39,7 +44,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cyclosa-bench", flag.ContinueOnError)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|loadtest|all")
+		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|loadtest|relay|all")
 		seed        = fs.Int64("seed", 1, "random seed")
 		users       = fs.Int("users", 198, "workload users (paper: 198)")
 		mean        = fs.Int("mean-queries", 120, "mean queries per user")
@@ -48,13 +53,15 @@ func run(args []string) error {
 		concurrency = fs.Int("concurrency", 8, "concurrent client goroutines for fig8c and loadtest")
 		workloadGen = fs.String("workload", "fixed", "loadtest query workload: fixed|zipf|trace")
 		rate        = fs.Float64("rate", 0, "loadtest open-loop offered rate in req/s (0 = closed loop)")
+		iterations  = fs.Int("iterations", 0, "relay experiment iteration count (0 = default)")
+		jsonOut     = fs.String("json", "", "relay experiment: also write the result as JSON to this path (e.g. BENCH_relay.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	want := strings.ToLower(*exp)
-	needWorld := want != "table1" && want != "loadtest"
+	needWorld := want != "table1" && want != "loadtest" && want != "relay"
 
 	var world *eval.World
 	if needWorld {
@@ -143,6 +150,20 @@ func run(args []string) error {
 			fmt.Println(r)
 			return nil
 		}},
+		{"relay", func() error {
+			r, err := eval.RunRelayBench(eval.RelayBenchOptions{Seed: *seed, Iterations: *iterations})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			if *jsonOut != "" {
+				if err := r.WriteJSON(*jsonOut); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+			}
+			return nil
+		}},
 		{"fig8d", func() error {
 			r, err := eval.RunLoadBalancing(world, eval.LoadBalancingOptions{})
 			if err != nil {
@@ -182,7 +203,7 @@ func run(args []string) error {
 		if want != "all" && want != e.name {
 			continue
 		}
-		if want == "all" && (e.name == "fig8c" || e.name == "loadtest") {
+		if want == "all" && (e.name == "fig8c" || e.name == "loadtest" || e.name == "relay") {
 			fmt.Printf("%s: skipped in -exp all (real-time load test); run -exp %s explicitly\n", e.name, e.name)
 			continue
 		}

@@ -1,0 +1,27 @@
+package core
+
+import "sync"
+
+// bufPool recycles the scratch buffers of the forward hot path (gate
+// frames, decrypted plaintexts, response assembly). Buffers are pooled as
+// *[]byte so Get/Put never allocate at steady state, and grow to their
+// working size once.
+//
+// Ownership rule: a buffer obtained with getBuf is owned by the caller
+// until putBuf; slices derived from it (decoded queries, unpadded
+// plaintexts) die with it and must be copied before the put. Never put a
+// buffer whose contents were returned to a caller.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+func getBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+func putBuf(b *[]byte) {
+	bufPool.Put(b)
+}

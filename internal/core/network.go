@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/maphash"
@@ -105,6 +106,13 @@ type pairShard struct {
 type pairState struct {
 	mu     sync.Mutex
 	client *securechan.Session
+
+	// Scratch buffers reused across forwards of this pair (guarded by mu):
+	// plainBuf carries the padded request plaintext out and the response
+	// plaintext back; ctBuf carries the request ciphertext. One pair of
+	// buffers replaces the five per-forward allocations of the JSON path.
+	plainBuf []byte
+	ctBuf    []byte
 }
 
 // NewNetwork builds and bootstraps the deployment: platforms register with
@@ -264,18 +272,22 @@ func (net *Network) StopGossip() {
 // forward delivers one encrypted forward request from client to relay and
 // returns the decoded response plus the sampled path latency:
 // WAN out + relay processing + engine RTT (inside backend) + WAN back.
-func (net *Network) forward(client *Node, relayID, query string, now time.Time) (*forwardResponse, time.Duration, error) {
+//
+// The exchange is zero-allocation at steady state: request encoding,
+// padding, encryption and response decryption all run in the pair's scratch
+// buffers, under the pair lock.
+func (net *Network) forward(client *Node, relayID, query string, now time.Time) (forwardResponse, time.Duration, error) {
 	if !net.Alive(relayID) {
-		return nil, 0, ErrRelayUnavailable
+		return forwardResponse{}, 0, ErrRelayUnavailable
 	}
 	relay := net.nodes[relayID]
 	if relay == nil {
-		return nil, 0, fmt.Errorf("%w: unknown relay %s", ErrRelayUnavailable, relayID)
+		return forwardResponse{}, 0, fmt.Errorf("%w: unknown relay %s", ErrRelayUnavailable, relayID)
 	}
 
 	ps, err := net.pair(client, relay)
 	if err != nil {
-		return nil, 0, err
+		return forwardResponse{}, 0, err
 	}
 	// The secure channel enforces strictly increasing record sequence
 	// numbers, so the encrypt → relay → decrypt exchange of one pair is a
@@ -289,31 +301,43 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 		net.model.ProcessingCost() +
 		net.model.Sample(transport.LinkWAN)
 
-	req := &forwardRequest{Query: query, RequestID: net.nextRequestID()}
-	plain, err := encodeRequest(req)
-	if err != nil {
-		return nil, latency, err
+	requestID := net.nextRequestID()
+	if len(query) > maxWireQueryLen {
+		return forwardResponse{}, latency, fmt.Errorf("%w: query %d bytes", ErrWireOversize, len(query))
 	}
-	// Pad to the fixed request size so a link observer cannot distinguish
-	// requests by length (§IV).
-	ct, err := ps.client.Encrypt(padPlaintext(plain))
+
+	// Encode in place behind a 4-byte length prefix, then pad to the fixed
+	// request size so a link observer cannot distinguish requests by
+	// length (§IV).
+	plain := append(ps.plainBuf[:0], 0, 0, 0, 0)
+	plain = appendRequest(plain, requestID, query)
+	binary.BigEndian.PutUint32(plain, uint32(len(plain)-4))
+	plain = appendPadding(plain)
+	ps.plainBuf = plain
+
+	ct, err := ps.client.EncryptAppend(ps.ctBuf[:0], plain)
 	if err != nil {
-		return nil, latency, fmt.Errorf("client encrypt: %w", err)
+		return forwardResponse{}, latency, fmt.Errorf("client encrypt: %w", err)
 	}
+	ps.ctBuf = ct
 	respCT, err := relay.handleForward(client.id, ct, now)
 	if err != nil {
-		return nil, latency, fmt.Errorf("relay %s: %w", relayID, err)
+		return forwardResponse{}, latency, fmt.Errorf("relay %s: %w", relayID, err)
 	}
-	respPlain, err := ps.client.Decrypt(respCT)
+	// respCT points into relay-owned scratch; decrypting it into our own
+	// buffer (inside the pair critical section) consumes it before the
+	// relay can reuse it.
+	respPlain, err := ps.client.DecryptAppend(ps.plainBuf[:0], respCT)
 	if err != nil {
-		return nil, latency, fmt.Errorf("client decrypt: %w", err)
+		return forwardResponse{}, latency, fmt.Errorf("client decrypt: %w", err)
 	}
-	resp, err := decodeResponse(respPlain)
+	ps.plainBuf = respPlain
+	resp, err := decodeResponseWire(respPlain)
 	if err != nil {
-		return nil, latency, err
+		return forwardResponse{}, latency, err
 	}
-	if resp.RequestID != req.RequestID {
-		return nil, latency, fmt.Errorf("response id mismatch: got %d want %d", resp.RequestID, req.RequestID)
+	if resp.RequestID != requestID {
+		return forwardResponse{}, latency, fmt.Errorf("response id mismatch: got %d want %d", resp.RequestID, requestID)
 	}
 	return resp, latency, nil
 }

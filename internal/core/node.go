@@ -1,7 +1,6 @@
 package core
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -39,6 +38,11 @@ var _ Backend = NullBackend{}
 func (NullBackend) Search(string, string, time.Time) ([]searchengine.Result, error) {
 	return nil, nil
 }
+
+// emptyResultsBlob is the pre-encoded empty result page the engine ocall
+// returns when the backend produced no results, so the NullBackend hot path
+// never encodes. Read-only; callers splice it, never mutate it.
+var emptyResultsBlob = searchengine.AppendResults(nil, nil)
 
 // Node errors.
 var (
@@ -101,13 +105,28 @@ type SearchResult struct {
 	EngineError error
 }
 
+// relaySession is the responder-side state for one attested peer: the
+// session itself plus a response-ciphertext scratch buffer. The buffer is
+// reused across forwards — the record returned by the "forward" ecall is
+// valid only until the next forward from the same peer, which is safe
+// because the client serializes its exchanges per pair (it must: the
+// channel's record sequence numbers leave no other order).
+type relaySession struct {
+	sess *securechan.Session
+
+	// mu guards out across pathological concurrent forwards from the same
+	// peer (normal operation serializes them; a malicious host does not).
+	mu  sync.Mutex
+	out []byte
+}
+
 // enclaveState is the data owned by the enclave: responder-side sessions and
 // the past-query table. Host code interacts with it only through ecalls.
 // Session lookup happens on every relayed request while admission only on
 // first contact, so the map is behind an RWMutex.
 type enclaveState struct {
 	mu       sync.RWMutex
-	sessions map[string]*securechan.Session
+	sessions map[string]*relaySession
 	table    *PastQueryTable
 }
 
@@ -164,7 +183,7 @@ func newNode(opts NodeOptions, platform *enclave.Platform, verifier *enclave.Ver
 		analyzer:   opts.Analyzer,
 		peers:      peers,
 		state: &enclaveState{
-			sessions: make(map[string]*securechan.Session),
+			sessions: make(map[string]*relaySession),
 			table:    NewPastQueryTable(opts.TableSize, encl.EPC()),
 		},
 		backend:      backend,
@@ -178,97 +197,112 @@ func newNode(opts NodeOptions, platform *enclave.Platform, verifier *enclave.Ver
 }
 
 // registerECalls installs the trusted relay functions behind the call gate.
+// Gate frames use the binary wire codec (see messages.go); the forward path
+// crosses the boundary without JSON and reuses pooled scratch buffers.
 func (n *Node) registerECalls() {
 	// "forward": decrypt a peer's request, record the query, submit it to
 	// the engine (via the engine ocall) and return the encrypted response.
 	n.encl.RegisterECall("forward", func(args []byte) ([]byte, error) {
-		var in struct {
-			From    string `json:"from"`
-			Payload []byte `json:"payload"`
-			NowNano int64  `json:"nowNano"`
-		}
-		if err := json.Unmarshal(args, &in); err != nil {
+		from, payload, nowNano, err := decodeForwardArgs(args)
+		if err != nil {
 			return nil, fmt.Errorf("forward args: %w", err)
 		}
 		n.state.mu.RLock()
-		sess := n.state.sessions[in.From]
+		rs := n.state.sessions[string(from)]
 		n.state.mu.RUnlock()
-		if sess == nil {
-			return nil, fmt.Errorf("forward: no session with %s", in.From)
+		if rs == nil {
+			return nil, fmt.Errorf("forward: no session with %s", from)
 		}
-		padded, err := sess.Decrypt(in.Payload)
+
+		pb := getBuf()
+		padded, err := rs.sess.DecryptAppend((*pb)[:0], payload)
 		if err != nil {
+			putBuf(pb)
 			return nil, fmt.Errorf("forward decrypt: %w", err)
 		}
+		*pb = padded
 		plain, err := unpadPlaintext(padded)
 		if err != nil {
+			putBuf(pb)
 			return nil, fmt.Errorf("forward unpad: %w", err)
 		}
-		req, err := decodeRequest(plain)
+		requestID, query, err := decodeRequestWire(plain)
 		if err != nil {
-			return nil, err
+			putBuf(pb)
+			return nil, fmt.Errorf("decode forward request: %w", err)
 		}
 
 		// Record the query in the enclave-resident table (step 4 of Fig 4):
-		// it becomes fake-query source material.
-		n.state.table.Add(req.Query)
+		// it becomes fake-query source material. The conversion copies the
+		// query out of the pooled buffer — the table retains it.
+		n.state.table.Add(string(query))
 
 		// Submit to the engine through the untrusted host (ocall), as the
 		// enclave's TLS bytes would leave through the host NIC.
-		resp := &forwardResponse{RequestID: req.RequestID}
-		out, err := n.encl.OCall("engine", mustJSON(engineCall{
-			Source: n.id, Query: req.Query, NowNano: in.NowNano,
-		}))
-		if err != nil {
-			resp.EngineError = err.Error()
-		} else {
-			var results []searchengine.Result
-			if err := json.Unmarshal(out, &results); err != nil {
-				return nil, fmt.Errorf("engine ocall result: %w", err)
-			}
-			resp.Results = results
-		}
+		eb := getBuf()
+		engineArgs := appendEngineArgs((*eb)[:0], n.id, query, nowNano)
+		*eb = engineArgs
+		putBuf(pb) // query copied into the gate frame and the table
+		resultsBlob, engineErr := n.encl.OCall("engine", engineArgs)
+		putBuf(eb)
 
-		encoded, err := encodeResponse(resp)
-		if err != nil {
-			return nil, err
+		// Assemble the response: header plus the engine's result page,
+		// spliced verbatim (the client validates it on decode).
+		rb := getBuf()
+		var resp []byte
+		if engineErr != nil {
+			// Truncate to the wire bound: an arbitrarily long backend error
+			// must not make the response undecodable at the client.
+			msg := engineErr.Error()
+			if len(msg) > maxWireErrLen {
+				msg = msg[:maxWireErrLen]
+			}
+			resp = appendResponseHeader((*rb)[:0], requestID, msg)
+			resp = searchengine.AppendResults(resp, nil)
+		} else {
+			resp = appendResponseHeader((*rb)[:0], requestID, "")
+			resp = append(resp, resultsBlob...)
 		}
-		return sess.Encrypt(encoded)
+		*rb = resp
+
+		rs.mu.Lock()
+		out, err := rs.sess.EncryptAppend(rs.out[:0], resp)
+		if err == nil {
+			rs.out = out
+		}
+		rs.mu.Unlock()
+		putBuf(rb)
+		return out, err
 	})
 
-	// "admitSession": store the responder-side session for a peer, created
-	// after successful mutual attestation.
-	// (Installed as a closure rather than an ecall because the session
-	// object cannot cross a byte-slice boundary; the call still goes through
-	// the gate for accounting via the ocall counter-part below.)
+	// "engine": the untrusted host callback that carries the query to the
+	// search engine. Returns a binary result page (spliced into the
+	// response by the ecall above).
 	n.encl.RegisterOCall("engine", func(args []byte) ([]byte, error) {
-		var call engineCall
-		if err := json.Unmarshal(args, &call); err != nil {
+		source, query, nowNano, err := decodeEngineArgs(args)
+		if err != nil {
 			return nil, fmt.Errorf("engine call args: %w", err)
 		}
-		results, err := n.backend.Search(call.Source, call.Query, time.Unix(0, call.NowNano))
+		// The frame's source always names this node (the relay is the
+		// engine-visible identity); reuse the interned id string unless a
+		// hand-crafted frame says otherwise.
+		src := n.id
+		if string(source) != n.id {
+			src = string(source)
+		}
+		results, err := n.backend.Search(src, string(query), time.Unix(0, nowNano))
 		if err != nil {
 			n.stats.engineErrors.Add(1)
 			return nil, err
 		}
-		return json.Marshal(results)
+		// Clamp to the wire bounds so an arbitrary backend cannot produce a
+		// page the requesting client's decoder rejects.
+		results = searchengine.ClampForWire(results)
+		if len(results) == 0 {
+			return emptyResultsBlob, nil
+		}
+		return searchengine.AppendResults(nil, results), nil
 	})
-}
-
-type engineCall struct {
-	Source  string `json:"source"`
-	Query   string `json:"query"`
-	NowNano int64  `json:"nowNano"`
-}
-
-func mustJSON(v any) []byte {
-	b, err := json.Marshal(v)
-	if err != nil {
-		// Marshalling plain structs of strings/ints cannot fail; a failure
-		// here is a programming error.
-		panic(err)
-	}
-	return b
 }
 
 // ID returns the node identity.
@@ -296,18 +330,21 @@ func (n *Node) BootstrapTable(queries []string) {
 func (n *Node) admitSession(peer string, sess *securechan.Session) {
 	n.state.mu.Lock()
 	defer n.state.mu.Unlock()
-	n.state.sessions[peer] = sess
+	n.state.sessions[peer] = &relaySession{sess: sess}
 }
 
 // handleForward is the host-side entry point of the relay: it passes the
-// encrypted request through the call gate.
+// encrypted request through the call gate. The returned record points into
+// relay-owned scratch and is valid only until the next forward from the
+// same peer; callers must decrypt or copy it before issuing another.
 func (n *Node) handleForward(from string, payload []byte, now time.Time) ([]byte, error) {
 	n.stats.relayed.Add(1)
-	return n.encl.Call("forward", mustJSON(struct {
-		From    string `json:"from"`
-		Payload []byte `json:"payload"`
-		NowNano int64  `json:"nowNano"`
-	}{from, payload, now.UnixNano()}))
+	ab := getBuf()
+	args := appendForwardArgs((*ab)[:0], from, payload, now.UnixNano())
+	*ab = args
+	out, err := n.encl.Call("forward", args)
+	putBuf(ab)
+	return out, err
 }
 
 // Search runs the full CYCLOSA protection flow for a local user query
@@ -354,7 +391,7 @@ func (n *Node) Search(query string, now time.Time) (*SearchResult, error) {
 
 	type outcome struct {
 		real        bool
-		reply       *forwardResponse
+		reply       forwardResponse
 		usedRelay   string
 		pathLatency time.Duration
 		err         error
@@ -410,13 +447,12 @@ func (n *Node) Search(query string, now time.Time) (*SearchResult, error) {
 
 // forwardWithRetry forwards one query to relay, retrying over replacement
 // peers when relays are unresponsive; failed relays are blacklisted and each
-// failed attempt costs the relay timeout.
-func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rps.NodeID) (*forwardResponse, string, time.Duration, error) {
+// failed attempt costs the relay timeout. Retry bookkeeping (the tried set,
+// replacement sampling) is built lazily on the first failure, so the common
+// all-relays-healthy path does no extra work.
+func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rps.NodeID) (forwardResponse, string, time.Duration, error) {
 	var total time.Duration
-	tried := map[string]struct{}{}
-	for _, e := range exclude {
-		tried[string(e)] = struct{}{}
-	}
+	var tried map[string]struct{}
 	current := relay
 	for attempt := 0; attempt < 3; attempt++ {
 		reply, lat, err := n.net.forward(n, current, query, now)
@@ -425,12 +461,18 @@ func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rp
 			return reply, current, total, nil
 		}
 		if !errors.Is(err, ErrRelayUnavailable) {
-			return nil, current, total, err
+			return forwardResponse{}, current, total, err
 		}
 		// Unresponsive relay: pay the timeout, blacklist, pick another.
 		total += n.relayTimeout
 		n.peers.Blacklist(rps.NodeID(current))
 		n.stats.blacklisted.Add(1)
+		if tried == nil {
+			tried = make(map[string]struct{}, len(exclude)+2)
+			for _, e := range exclude {
+				tried[string(e)] = struct{}{}
+			}
+		}
 		next := ""
 		for _, cand := range n.peers.Sample(8) {
 			if _, used := tried[string(cand)]; !used {
@@ -439,10 +481,10 @@ func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rp
 			}
 		}
 		if next == "" {
-			return nil, current, total, ErrNoPeers
+			return forwardResponse{}, current, total, ErrNoPeers
 		}
 		tried[next] = struct{}{}
 		current = next
 	}
-	return nil, current, total, ErrRelayUnavailable
+	return forwardResponse{}, current, total, ErrRelayUnavailable
 }

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Measurement is the SHA-256 hash identifying an enclave's code (MRENCLAVE).
@@ -78,19 +79,25 @@ type Stats struct {
 }
 
 // Enclave is a simulated SGX enclave instance.
+//
+// The call gate is lock-free: Call and OCall touch only atomics (the
+// destroyed flag, the call counters and a copy-on-write function table), so
+// concurrent forwards never serialize on the enclave mutex. The mutex
+// remains for the cold paths — registration, sealing and teardown.
 type Enclave struct {
 	measurement Measurement
 	platform    *Platform
 
-	mu        sync.Mutex
-	destroyed bool
-	ecalls    map[string]ECall
-	ocalls    map[string]OCall
-	sealKey   [32]byte
-	epc       *EPC
+	mu      sync.Mutex // guards registration writes and sealKey
+	sealKey [32]byte
+	epc     *EPC
 
-	ecallCount uint64
-	ocallCount uint64
+	destroyed atomic.Bool
+	ecalls    atomic.Pointer[map[string]ECall]
+	ocalls    atomic.Pointer[map[string]OCall]
+
+	ecallCount atomic.Uint64
+	ocallCount atomic.Uint64
 }
 
 // Config controls enclave creation.
@@ -117,14 +124,17 @@ func (p *Platform) New(cfg Config) *Enclave {
 	var sealKey [32]byte
 	copy(sealKey[:], mac.Sum(nil))
 
-	return &Enclave{
+	e := &Enclave{
 		measurement: m,
 		platform:    p,
-		ecalls:      make(map[string]ECall),
-		ocalls:      make(map[string]OCall),
 		sealKey:     sealKey,
 		epc:         NewEPC(cfg.EPCLimitBytes),
 	}
+	ecalls := make(map[string]ECall)
+	ocalls := make(map[string]OCall)
+	e.ecalls.Store(&ecalls)
+	e.ocalls.Store(&ocalls)
+	return e
 }
 
 // Measurement returns the enclave's code identity.
@@ -140,42 +150,48 @@ func (e *Enclave) EPC() *EPC { return e.epc }
 func (e *Enclave) RegisterECall(name string, fn ECall) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.ecalls[name] = fn
+	old := *e.ecalls.Load()
+	next := make(map[string]ECall, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = fn
+	e.ecalls.Store(&next)
 }
 
 // RegisterOCall installs an untrusted callback reachable from inside.
 func (e *Enclave) RegisterOCall(name string, fn OCall) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.ocalls[name] = fn
+	old := *e.ocalls.Load()
+	next := make(map[string]OCall, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = fn
+	e.ocalls.Store(&next)
 }
 
-// Call performs an ecall through the call gate.
+// Call performs an ecall through the call gate (lock-free).
 func (e *Enclave) Call(name string, args []byte) ([]byte, error) {
-	e.mu.Lock()
-	if e.destroyed {
-		e.mu.Unlock()
+	if e.destroyed.Load() {
 		return nil, ErrDestroyed
 	}
-	fn, ok := e.ecalls[name]
-	e.ecallCount++
-	e.mu.Unlock()
+	e.ecallCount.Add(1)
+	fn, ok := (*e.ecalls.Load())[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownECall, name)
 	}
 	return fn(args)
 }
 
-// OCall invokes an untrusted callback from enclave code.
+// OCall invokes an untrusted callback from enclave code (lock-free).
 func (e *Enclave) OCall(name string, args []byte) ([]byte, error) {
-	e.mu.Lock()
-	if e.destroyed {
-		e.mu.Unlock()
+	if e.destroyed.Load() {
 		return nil, ErrDestroyed
 	}
-	fn, ok := e.ocalls[name]
-	e.ocallCount++
-	e.mu.Unlock()
+	e.ocallCount.Add(1)
+	fn, ok := (*e.ocalls.Load())[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: ocall %q", ErrUnknownECall, name)
 	}
@@ -183,21 +199,21 @@ func (e *Enclave) OCall(name string, args []byte) ([]byte, error) {
 }
 
 // Destroy tears the enclave down; further calls fail with ErrDestroyed and
-// the seal key is wiped.
+// the seal key is wiped. The flag is set under the mutex so Seal/Unseal
+// (which read the key under the same mutex) can never observe the wiped
+// key without also observing the flag.
 func (e *Enclave) Destroy() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.destroyed = true
+	e.destroyed.Store(true)
 	e.sealKey = [32]byte{}
 }
 
 // Stats returns current counters.
 func (e *Enclave) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return Stats{
-		ECalls:     e.ecallCount,
-		OCalls:     e.ocallCount,
+		ECalls:     e.ecallCount.Load(),
+		OCalls:     e.ocallCount.Load(),
 		EPCUsed:    e.epc.Used(),
 		EPCLimit:   e.epc.Limit(),
 		PageFaults: e.epc.PageFaults(),
@@ -209,7 +225,7 @@ func (e *Enclave) Stats() Stats {
 // platform.
 func (e *Enclave) Seal(data []byte) ([]byte, error) {
 	e.mu.Lock()
-	if e.destroyed {
+	if e.destroyed.Load() {
 		e.mu.Unlock()
 		return nil, ErrDestroyed
 	}
@@ -235,7 +251,7 @@ func (e *Enclave) Seal(data []byte) ([]byte, error) {
 // was produced by a different enclave identity or tampered with.
 func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
 	e.mu.Lock()
-	if e.destroyed {
+	if e.destroyed.Load() {
 		e.mu.Unlock()
 		return nil, ErrDestroyed
 	}
@@ -265,12 +281,9 @@ func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
 // platform's attestation key (the simulated equivalent of the quoting
 // enclave + EPID/DCAP key).
 func (e *Enclave) Quote(reportData []byte) (*Quote, error) {
-	e.mu.Lock()
-	if e.destroyed {
-		e.mu.Unlock()
+	if e.destroyed.Load() {
 		return nil, ErrDestroyed
 	}
-	e.mu.Unlock()
 	return e.platform.quote(e.measurement, reportData), nil
 }
 

@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cyclosa/internal/core"
+)
+
+// RelayBenchOptions configures the single-relay hot-path micro-benchmark
+// behind cmd/cyclosa-bench's -exp relay. It measures the same closed-loop
+// NullBackend round trip as BenchmarkFig8cRelayThroughput, but emits a
+// machine-readable record so CI can track the perf trajectory across PRs.
+type RelayBenchOptions struct {
+	// Seed drives network randomness.
+	Seed int64
+	// Iterations is the measured iteration count (default 200000).
+	Iterations int
+	// Warmup iterations establish the attested session and grow the scratch
+	// buffers before measurement (default 1000).
+	Warmup int
+}
+
+// RelayBenchResult is one measurement of the forward hot path.
+type RelayBenchResult struct {
+	// Benchmark names the measured path.
+	Benchmark string `json:"benchmark"`
+	// Iterations is the measured iteration count.
+	Iterations int `json:"iterations"`
+	// NsPerOp is the mean wall time of one full relay round trip.
+	NsPerOp float64 `json:"ns_per_op"`
+	// OpsPerSec is the closed-loop single-client throughput.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// AllocsPerOp is the mean heap allocation count per round trip.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// BytesPerOp is the mean heap bytes allocated per round trip.
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// GeneratedAt stamps the measurement (RFC 3339).
+	GeneratedAt string `json:"generated_at"`
+}
+
+// RunRelayBench measures the full forward round trip (client encode, pad,
+// encrypt → relay ecall: decrypt, record, engine ocall, encrypt → client
+// decrypt, decode) on a 2-node NullBackend network.
+func RunRelayBench(opts RelayBenchOptions) (*RelayBenchResult, error) {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 200000
+	}
+	if opts.Warmup <= 0 {
+		opts.Warmup = 1000
+	}
+	net, err := core.NewNetwork(core.NetworkOptions{
+		Nodes:   2,
+		Seed:    opts.Seed,
+		Backend: core.NullBackend{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ids := net.NodeIDs()
+	client, relay := net.Node(ids[0]), ids[1]
+	now := time.Unix(0, 0)
+	const query = "relay bench probe"
+
+	for i := 0; i < opts.Warmup; i++ {
+		if err := net.RelayRoundTrip(client, relay, query, now); err != nil {
+			return nil, fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < opts.Iterations; i++ {
+		if err := net.RelayRoundTrip(client, relay, query, now); err != nil {
+			return nil, fmt.Errorf("iteration %d: %w", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	iters := float64(opts.Iterations)
+	return &RelayBenchResult{
+		Benchmark:   "RelayRoundTrip (NullBackend, closed loop, 1 client)",
+		Iterations:  opts.Iterations,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / iters,
+		OpsPerSec:   iters / elapsed.Seconds(),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / iters,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / iters,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}, nil
+}
+
+// WriteJSON writes the result as indented JSON to path.
+func (r *RelayBenchResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// String renders the result for the terminal.
+func (r *RelayBenchResult) String() string {
+	return fmt.Sprintf(
+		"Relay hot path (%s):\n  %d iterations\n  %.0f ns/op  (%.0f req/s single client)\n  %.2f allocs/op, %.0f B/op",
+		r.Benchmark, r.Iterations, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp, r.BytesPerOp)
+}

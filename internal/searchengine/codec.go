@@ -1,0 +1,157 @@
+package searchengine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"cyclosa/internal/wire"
+)
+
+// Binary result-page codec. Result pages cross two hot boundaries on every
+// forwarded query — the engine ocall return and the encrypted forward
+// response — so they are encoded with a compact length-prefixed binary
+// format instead of JSON. Layout (all varints are unsigned LEB128 as in
+// encoding/binary, scores are IEEE-754 bits big-endian):
+//
+//	page   := version(1B) count(uvarint) result*
+//	result := docID(varint) url(str) title(str) nTerms(uvarint) term* score(8B)
+//	str    := len(uvarint) bytes
+//
+// Decoding is hardened: truncated input, unknown versions and any length
+// field beyond the Max* bounds below are rejected before allocation.
+
+// ResultsWireVersion is the result-page wire version; bump on layout change.
+const ResultsWireVersion = 1
+
+// Decode bounds: a frame claiming more than these is rejected as corrupt
+// (a genuine page is ~10 results of short strings).
+const (
+	// MaxWireResults bounds the result count of one page.
+	MaxWireResults = 4096
+	// MaxWireStringLen bounds any URL, title or term.
+	MaxWireStringLen = 16 << 10
+	// MaxWireTerms bounds the term list of one result.
+	MaxWireTerms = 4096
+)
+
+// Result-codec errors. Truncation and oversize are the shared wire-level
+// errors (aliased so errors.Is matches across packages).
+var (
+	ErrWireTruncated = wire.ErrTruncated
+	ErrWireOversize  = wire.ErrOversize
+	ErrWireVersion   = errors.New("searchengine: unknown result page version")
+)
+
+// AppendResults appends the binary encoding of a result page to dst and
+// returns the extended slice. A nil/empty page encodes to the 2-byte header.
+func AppendResults(dst []byte, results []Result) []byte {
+	dst = append(dst, ResultsWireVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(results)))
+	for i := range results {
+		r := &results[i]
+		dst = binary.AppendVarint(dst, int64(r.DocID))
+		dst = wire.AppendString(dst, r.URL)
+		dst = wire.AppendString(dst, r.Title)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Terms)))
+		for _, t := range r.Terms {
+			dst = wire.AppendString(dst, t)
+		}
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(r.Score))
+	}
+	return dst
+}
+
+// ClampForWire bounds a result page to what the wire format can carry, so
+// an arbitrary Backend cannot make an honest relay emit a response its
+// client's decoder rejects: the page is cut to MaxWireResults and any
+// result with a string beyond MaxWireStringLen or more than MaxWireTerms
+// terms is dropped. The common case (every bound respected) returns the
+// slice unchanged without copying.
+func ClampForWire(results []Result) []Result {
+	if len(results) > MaxWireResults {
+		results = results[:MaxWireResults]
+	}
+	for i := range results {
+		if !wireSafe(&results[i]) {
+			// Slow path: rebuild without the offending results.
+			out := make([]Result, 0, len(results))
+			for j := range results {
+				if wireSafe(&results[j]) {
+					out = append(out, results[j])
+				}
+			}
+			return out
+		}
+	}
+	return results
+}
+
+func wireSafe(r *Result) bool {
+	if len(r.URL) > MaxWireStringLen || len(r.Title) > MaxWireStringLen || len(r.Terms) > MaxWireTerms {
+		return false
+	}
+	for _, t := range r.Terms {
+		if len(t) > MaxWireStringLen {
+			return false
+		}
+	}
+	return true
+}
+
+// DecodeResults decodes one result page from the front of data, returning
+// the page, the unconsumed remainder and any error. The returned results do
+// not alias data (all strings are copied), so the caller may reuse the
+// buffer. A zero-count page decodes to a nil slice.
+func DecodeResults(data []byte) ([]Result, []byte, error) {
+	if len(data) < 1 {
+		return nil, nil, ErrWireTruncated
+	}
+	if data[0] != ResultsWireVersion {
+		return nil, nil, fmt.Errorf("%w: %d", ErrWireVersion, data[0])
+	}
+	data = data[1:]
+	count, data, err := wire.ConsumeUvarint(data, MaxWireResults)
+	if err != nil {
+		return nil, nil, err
+	}
+	if count == 0 {
+		return nil, data, nil
+	}
+	results := make([]Result, count)
+	for i := range results {
+		r := &results[i]
+		var docID int64
+		docID, data, err = wire.ConsumeVarint(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		r.DocID = int(docID)
+		if r.URL, data, err = wire.ConsumeString(data, MaxWireStringLen); err != nil {
+			return nil, nil, err
+		}
+		if r.Title, data, err = wire.ConsumeString(data, MaxWireStringLen); err != nil {
+			return nil, nil, err
+		}
+		var nTerms uint64
+		if nTerms, data, err = wire.ConsumeUvarint(data, MaxWireTerms); err != nil {
+			return nil, nil, err
+		}
+		if nTerms > 0 {
+			r.Terms = make([]string, nTerms)
+			for j := range r.Terms {
+				if r.Terms[j], data, err = wire.ConsumeString(data, MaxWireStringLen); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		if len(data) < 8 {
+			return nil, nil, ErrWireTruncated
+		}
+		r.Score = math.Float64frombits(binary.BigEndian.Uint64(data))
+		data = data[8:]
+	}
+	return results, data, nil
+}
+

@@ -18,6 +18,10 @@ var (
 	ErrTooShort = errors.New("securechan: message too short")
 )
 
+// maxNonceSize bounds the per-session nonce scratch arrays (GCM's standard
+// nonce is 12 bytes; newSession rejects anything larger).
+const maxNonceSize = 16
+
 // Session is one direction-aware end of an established secure channel. It
 // encrypts outgoing messages under the send key and decrypts incoming
 // messages under the receive key, with strictly increasing counter nonces:
@@ -30,6 +34,12 @@ type Session struct {
 	recvSeq  uint64
 	peer     enclave.Measurement
 	closed   bool
+
+	// Nonce scratch arrays, reused under mu so the hot path never allocates
+	// a nonce. Only the trailing 8 bytes are rewritten per record; the
+	// leading bytes stay zero.
+	sendNonce [maxNonceSize]byte
+	recvNonce [maxNonceSize]byte
 }
 
 func newSession(sendKey, recvKey [32]byte, peer enclave.Measurement) (*Session, error) {
@@ -48,6 +58,9 @@ func newSession(sendKey, recvKey [32]byte, peer enclave.Measurement) (*Session, 
 	if err != nil {
 		return nil, fmt.Errorf("session recv key: %w", err)
 	}
+	if send.NonceSize() > maxNonceSize || recv.NonceSize() > maxNonceSize {
+		return nil, fmt.Errorf("securechan: AEAD nonce size exceeds %d bytes", maxNonceSize)
+	}
 	return &Session{sendAEAD: send, recvAEAD: recv, peer: peer}, nil
 }
 
@@ -57,23 +70,39 @@ func (s *Session) PeerMeasurement() enclave.Measurement { return s.peer }
 // Encrypt seals a message for the peer. The 8-byte record sequence number is
 // prepended in clear (it is authenticated via the nonce).
 func (s *Session) Encrypt(plaintext []byte) ([]byte, error) {
+	return s.EncryptAppend(make([]byte, 0, 8+len(plaintext)+16), plaintext)
+}
+
+// EncryptAppend seals a message for the peer, appending the record to dst
+// and returning the extended slice. With a dst of sufficient capacity the
+// call performs no allocation. plaintext must not overlap dst's spare
+// capacity.
+func (s *Session) EncryptAppend(dst, plaintext []byte) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
-	nonce := make([]byte, s.sendAEAD.NonceSize())
+	nonce := s.sendNonce[:s.sendAEAD.NonceSize()]
 	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], s.sendSeq)
-	out := make([]byte, 8, 8+len(plaintext)+s.sendAEAD.Overhead())
-	binary.BigEndian.PutUint64(out, s.sendSeq)
+	off := len(dst)
+	dst = binary.BigEndian.AppendUint64(dst, s.sendSeq)
 	s.sendSeq++
-	return s.sendAEAD.Seal(out, nonce, plaintext, out[:8]), nil
+	return s.sendAEAD.Seal(dst, nonce, plaintext, dst[off:off+8]), nil
 }
 
 // Decrypt opens a record from the peer. Records must arrive in order; a
 // record whose sequence number does not match the session state is rejected
 // (this is what defeats replay, §VI-b).
 func (s *Session) Decrypt(record []byte) ([]byte, error) {
+	return s.DecryptAppend(nil, record)
+}
+
+// DecryptAppend opens a record from the peer, appending the plaintext to
+// dst and returning the extended slice. With a dst of sufficient capacity
+// the call performs no allocation. record must not overlap dst's spare
+// capacity. The same in-order sequence rule as Decrypt applies.
+func (s *Session) DecryptAppend(dst, record []byte) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -86,9 +115,9 @@ func (s *Session) Decrypt(record []byte) ([]byte, error) {
 	if seq != s.recvSeq {
 		return nil, fmt.Errorf("%w: got seq %d, want %d", ErrDecrypt, seq, s.recvSeq)
 	}
-	nonce := make([]byte, s.recvAEAD.NonceSize())
+	nonce := s.recvNonce[:s.recvAEAD.NonceSize()]
 	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], seq)
-	pt, err := s.recvAEAD.Open(nil, nonce, record[8:], record[:8])
+	pt, err := s.recvAEAD.Open(dst, nonce, record[8:], record[:8])
 	if err != nil {
 		return nil, ErrDecrypt
 	}

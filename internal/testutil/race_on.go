@@ -1,0 +1,9 @@
+//go:build race
+
+// Package testutil carries small cross-package test helpers.
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-regression tests skip under it: race instrumentation adds
+// heap allocations that are not present in production builds.
+const RaceEnabled = true

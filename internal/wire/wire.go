@@ -1,0 +1,87 @@
+// Package wire provides the low-level primitives of the binary wire format
+// shared by the forward hot path: uvarint-length-prefixed strings and byte
+// fields, bounds-checked consumption, and the common truncation/oversize
+// errors. internal/core (request/response/gate frames) and
+// internal/searchengine (result pages) build their frame layouts on these
+// so the bounds and varint handling cannot drift apart.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Shared decode errors. Frame-level packages wrap or alias these so
+// errors.Is works across package boundaries.
+var (
+	// ErrTruncated rejects input that ends inside a field.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrOversize rejects a length field beyond its bound, before any
+	// allocation based on it.
+	ErrOversize = errors.New("wire: length field exceeds bound")
+)
+
+// AppendString appends a uvarint-length-prefixed string to dst.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends a uvarint-length-prefixed byte field to dst.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// ConsumeUvarint decodes a uvarint bounded by max from the front of data.
+func ConsumeUvarint(data []byte, max uint64) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	if v > max {
+		return 0, nil, fmt.Errorf("%w: %d > %d", ErrOversize, v, max)
+	}
+	return v, data[n:], nil
+}
+
+// ConsumeVarint decodes a signed varint from the front of data.
+func ConsumeVarint(data []byte) (int64, []byte, error) {
+	v, n := binary.Varint(data)
+	if n <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	return v, data[n:], nil
+}
+
+// ConsumeBytes decodes a length-prefixed byte field bounded by max. The
+// returned field aliases data.
+func ConsumeBytes(data []byte, max uint64) ([]byte, []byte, error) {
+	n, data, err := ConsumeUvarint(data, max)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(data)) < n {
+		return nil, nil, ErrTruncated
+	}
+	return data[:n], data[n:], nil
+}
+
+// ConsumeString decodes a length-prefixed string bounded by max. The
+// returned string is a copy and does not alias data.
+func ConsumeString(data []byte, max uint64) (string, []byte, error) {
+	b, rest, err := ConsumeBytes(data, max)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(b), rest, nil
+}
+
+// ConsumeUint64 decodes a fixed 8-byte big-endian field.
+func ConsumeUint64(data []byte) (uint64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.BigEndian.Uint64(data), data[8:], nil
+}
