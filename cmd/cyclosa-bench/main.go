@@ -8,10 +8,18 @@
 //	cyclosa-bench -exp fig8c -duration 2s -concurrency 16
 //	cyclosa-bench -exp loadtest -concurrency 32 -duration 2s -workload zipf
 //	cyclosa-bench -exp relay -json BENCH_relay.json
+//	cyclosa-bench -exp chaos -seed 7 -workload zipf -chaos-intensity 2
 //
 // Experiments: table1, crowd, table2, fig5, fig6, fig7, fig8a, fig8b,
-// fig8c, fig8d, loadtest, relay, all (everything except the real-time
-// fig8c, loadtest and relay unless explicitly requested).
+// fig8c, fig8d, loadtest, relay, chaos, all (everything except the
+// real-time fig8c, loadtest and relay unless explicitly requested).
+//
+// The chaos experiment drives the internal/simnet fault-injection layer:
+// a seed-derived crash/restart/partition schedule plus per-delivery drops,
+// bit flips, truncations, replays, Byzantine garbage and latency spikes,
+// with the protocol invariant checkers armed; the process exits non-zero
+// if any invariant is violated. Re-running with the same -seed replays the
+// identical fault schedule.
 //
 // The relay experiment measures the single-relay forward hot path (the
 // binary wire codec + pooled-buffer round trip) in a closed loop and can
@@ -44,7 +52,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cyclosa-bench", flag.ContinueOnError)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|loadtest|relay|all")
+		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|chaos|loadtest|relay|all")
 		seed        = fs.Int64("seed", 1, "random seed")
 		users       = fs.Int("users", 198, "workload users (paper: 198)")
 		mean        = fs.Int("mean-queries", 120, "mean queries per user")
@@ -55,13 +63,24 @@ func run(args []string) error {
 		rate        = fs.Float64("rate", 0, "loadtest open-loop offered rate in req/s (0 = closed loop)")
 		iterations  = fs.Int("iterations", 0, "relay experiment iteration count (0 = default)")
 		jsonOut     = fs.String("json", "", "relay experiment: also write the result as JSON to this path (e.g. BENCH_relay.json)")
+		intensity   = fs.Float64("chaos-intensity", 1, "chaos experiment: scale on the default fault probabilities")
+		rounds      = fs.Int("chaos-rounds", 8, "chaos experiment: schedule/workload rounds")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// The chaos experiment defaults to the zipf workload (its point is load
+	// shape under faults); an explicit -workload still wins.
+	chaosWorkload := "zipf"
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workload" {
+			chaosWorkload = *workloadGen
+		}
+	})
+
 	want := strings.ToLower(*exp)
-	needWorld := want != "table1" && want != "loadtest" && want != "relay"
+	needWorld := want != "table1" && want != "loadtest" && want != "relay" && want != "chaos"
 
 	var world *eval.World
 	if needWorld {
@@ -194,6 +213,23 @@ func run(args []string) error {
 				return err
 			}
 			fmt.Println(r)
+			return nil
+		}},
+		{"chaos", func() error {
+			r, err := eval.RunChaos(eval.ChaosOptions{
+				Seed:      *seed,
+				Clients:   *concurrency,
+				Rounds:    *rounds,
+				Workload:  chaosWorkload,
+				Intensity: *intensity,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			if r.Failed() {
+				return fmt.Errorf("chaos: protocol invariants violated (seed %d replays the failure)", *seed)
+			}
 			return nil
 		}},
 	}

@@ -26,6 +26,16 @@ func TestRunFastExperimentsSmallWorld(t *testing.T) {
 	}
 }
 
+func TestRunChaos(t *testing.T) {
+	args := []string{"-exp", "chaos", "-seed", "3", "-chaos-rounds", "3", "-concurrency", "4"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-workload", "trace")); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "nope", "-users", "10", "-mean-queries", "10"}); err == nil {
 		t.Fatal("unknown experiment should fail")

@@ -106,8 +106,8 @@ func TestWireRejectsBadFrames(t *testing.T) {
 	// Oversized length field: a frame claiming a query far beyond the bound
 	// must be rejected before allocation.
 	huge := appendWireString(append([]byte{wireVersion}, make([]byte, 8)...), "")
-	huge = huge[:len(huge)-1]                                   // drop the empty-string varint
-	huge = append(huge, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)    // ~2^41 length
+	huge = huge[:len(huge)-1]                               // drop the empty-string varint
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // ~2^41 length
 	if _, _, err := decodeRequestWire(huge); !errors.Is(err, ErrWireOversize) {
 		t.Errorf("oversized length: got %v, want ErrWireOversize", err)
 	}

@@ -57,6 +57,12 @@ type NetworkOptions struct {
 	GossipRounds int
 	// ClientSendCost overrides DefaultClientSendCost.
 	ClientSendCost time.Duration
+	// Conduit, when non-nil, wraps the network's direct delivery path: it
+	// receives the in-process conduit and returns the conduit every forward
+	// will use. internal/simnet plugs its fault-injection layer in here; a
+	// nil Conduit keeps the direct path (and its allocation profile)
+	// untouched.
+	Conduit func(direct transport.Conduit) transport.Conduit
 }
 
 // Network is an in-process CYCLOSA deployment: nodes with simulated enclaves
@@ -81,6 +87,7 @@ type Network struct {
 	rpsNet         *rps.Network
 	clientSendCost time.Duration
 	pairSeed       maphash.Seed
+	conduit        transport.Conduit
 
 	// deadMu guards dead: written by Kill, read on every forward.
 	deadMu sync.RWMutex
@@ -152,6 +159,10 @@ func NewNetwork(opts NetworkOptions) (*Network, error) {
 	}
 	for i := range net.pairShards {
 		net.pairShards[i].m = make(map[pairKey]*pairState)
+	}
+	net.conduit = directConduit{net}
+	if opts.Conduit != nil {
+		net.conduit = opts.Conduit(directConduit{net})
 	}
 
 	for i, id := range rpsNet.NodeIDs() {
@@ -269,14 +280,42 @@ func (net *Network) StopGossip() {
 	<-done
 }
 
+// directConduit is the default delivery path: hand the record straight to
+// the relay's host entry point, in process. It is the innermost layer of
+// any conduit stack installed via NetworkOptions.Conduit.
+type directConduit struct{ net *Network }
+
+var _ transport.Conduit = directConduit{}
+
+// Deliver hands one encrypted record to the relay and returns its encrypted
+// response. The node set is immutable after construction, so the lookup is
+// lock-free; an unknown relay is a caller bug surfaced as unavailability.
+func (d directConduit) Deliver(from, to string, payload []byte, now time.Time) ([]byte, time.Duration, error) {
+	relay := d.net.nodes[to]
+	if relay == nil {
+		return nil, 0, fmt.Errorf("%w: unknown relay %s", ErrRelayUnavailable, to)
+	}
+	resp, err := relay.handleForward(from, payload, now)
+	return resp, 0, err
+}
+
 // forward delivers one encrypted forward request from client to relay and
 // returns the decoded response plus the sampled path latency:
 // WAN out + relay processing + engine RTT (inside backend) + WAN back.
 //
 // The exchange is zero-allocation at steady state: request encoding,
 // padding, encryption and response decryption all run in the pair's scratch
-// buffers, under the pair lock.
+// buffers, under the pair lock. Delivery itself goes through the network's
+// conduit, the seam where internal/simnet injects faults; any failure after
+// the request record was sealed breaks the pair (see breakPair), and any
+// failure that is not plain unavailability is classified as relay
+// misbehavior so the retry layer can blacklist Byzantine relays.
 func (net *Network) forward(client *Node, relayID, query string, now time.Time) (forwardResponse, time.Duration, error) {
+	if relayID == client.id {
+		// A node must never relay its own query: the engine would see the
+		// requester's identity, voiding the unlinkability argument (§IV).
+		return forwardResponse{}, 0, ErrSelfRelay
+	}
 	if !net.Alive(relayID) {
 		return forwardResponse{}, 0, ErrRelayUnavailable
 	}
@@ -294,6 +333,11 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 	// critical section; distinct pairs proceed in parallel.
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
+	// A concurrent forward may have broken the pair between pair() and the
+	// lock above; re-attest under the lock we now hold.
+	if err := net.ensurePairLocked(ps, client, relay); err != nil {
+		return forwardResponse{}, 0, err
+	}
 
 	latency := net.model.Sample(transport.LinkWAN) +
 		net.model.ProcessingCost() +
@@ -320,26 +364,50 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 		return forwardResponse{}, latency, fmt.Errorf("client encrypt: %w", err)
 	}
 	ps.ctBuf = ct
-	respCT, err := relay.handleForward(client.id, ct, now)
+	respCT, injected, err := net.conduit.Deliver(client.id, relayID, ct, now)
+	latency += injected
 	if err != nil {
-		return forwardResponse{}, latency, fmt.Errorf("relay %s: %w", relayID, err)
+		// The request record consumed a send sequence number but its receipt
+		// is unconfirmed: the pair may be desynchronized either way.
+		net.breakPair(ps, client, relay)
+		if errors.Is(err, ErrRelayUnavailable) {
+			return forwardResponse{}, latency, err
+		}
+		return forwardResponse{}, latency, fmt.Errorf("%w: relay %s: %v", ErrRelayMisbehaved, relayID, err)
 	}
 	// respCT points into relay-owned scratch; decrypting it into our own
 	// buffer (inside the pair critical section) consumes it before the
 	// relay can reuse it.
 	respPlain, err := ps.client.DecryptAppend(ps.plainBuf[:0], respCT)
 	if err != nil {
-		return forwardResponse{}, latency, fmt.Errorf("client decrypt: %w", err)
+		net.breakPair(ps, client, relay)
+		return forwardResponse{}, latency, fmt.Errorf("%w: response from %s: %v", ErrRelayMisbehaved, relayID, err)
 	}
 	ps.plainBuf = respPlain
 	resp, err := decodeResponseWire(respPlain)
 	if err != nil {
-		return forwardResponse{}, latency, err
+		net.breakPair(ps, client, relay)
+		return forwardResponse{}, latency, fmt.Errorf("%w: response from %s: %v", ErrRelayMisbehaved, relayID, err)
 	}
 	if resp.RequestID != requestID {
-		return forwardResponse{}, latency, fmt.Errorf("response id mismatch: got %d want %d", resp.RequestID, requestID)
+		// A stale page passed off as fresh: the AEAD layer stops byte-level
+		// replay, the echoed identifier stops a relay replaying its own
+		// earlier plaintext (§VI-b).
+		net.breakPair(ps, client, relay)
+		return forwardResponse{}, latency, fmt.Errorf("%w: relay %s: response id %d, want %d", ErrRelayMisbehaved, relayID, resp.RequestID, requestID)
 	}
 	return resp, latency, nil
+}
+
+// breakPair invalidates the attested session between client and relay after
+// a failed exchange. A record that was sealed but never confirmed (dropped,
+// tampered with, or answered with garbage) leaves the two record counters
+// out of step, which would poison every later forward on the pair with
+// sequence mismatches; discarding both halves makes the next forward
+// re-attest from scratch instead. Caller holds ps.mu.
+func (net *Network) breakPair(ps *pairState, client, relay *Node) {
+	ps.client = nil
+	relay.dropSession(client.id)
 }
 
 // pairShardFor hashes a pair key onto its shard.
@@ -376,16 +444,26 @@ func (net *Network) pair(client *Node, relay *Node) (*pairState, error) {
 
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
+	if err := net.ensurePairLocked(ps, client, relay); err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// ensurePairLocked runs the attestation handshake if the pair has no live
+// session (first use, or after breakPair discarded a desynchronized one).
+// Caller holds ps.mu.
+func (net *Network) ensurePairLocked(ps *pairState, client, relay *Node) error {
 	if ps.client != nil {
-		return ps, nil
+		return nil
 	}
 	cs, rs, err := securechan.EstablishPair(client.handshaker, relay.handshaker)
 	if err != nil {
-		return nil, fmt.Errorf("attested session %s->%s: %w", client.id, relay.id, err)
+		return fmt.Errorf("attested session %s->%s: %w", client.id, relay.id, err)
 	}
 	ps.client = cs
 	relay.admitSession(client.id, rs)
-	return ps, nil
+	return nil
 }
 
 // RelayRoundTrip performs one full forward round trip (client encrypt →

@@ -49,6 +49,16 @@ var (
 	ErrNoPeers          = errors.New("core: no peers available")
 	ErrRelayUnavailable = errors.New("core: relay unavailable")
 	ErrRelayFailed      = errors.New("core: real query relay failed")
+	// ErrRelayMisbehaved marks a forward whose failure was detected rather
+	// than timed out: a tampered or replayed record, an undecodable or
+	// mismatched response — anything a Byzantine relay (or an attacker on
+	// the link) could have caused. The retry layer blacklists the relay like
+	// an unresponsive one, but without charging the timeout: the rejection
+	// is immediate.
+	ErrRelayMisbehaved = errors.New("core: relay misbehaved")
+	// ErrSelfRelay rejects a node relaying its own query, which would show
+	// the requester's identity to the engine.
+	ErrSelfRelay = errors.New("core: node cannot relay its own query")
 )
 
 // NodeStats counts a node's activity.
@@ -63,6 +73,9 @@ type NodeStats struct {
 	EngineErrors uint64
 	// Blacklisted counts peers this node blacklisted.
 	Blacklisted uint64
+	// Misbehaved counts forwards rejected for tampering, replay or garbage
+	// responses (each one also blacklists the relay involved).
+	Misbehaved uint64
 }
 
 // nodeCounters is the lock-free internal form of NodeStats: every counter is
@@ -74,6 +87,7 @@ type nodeCounters struct {
 	relayed      atomic.Uint64
 	engineErrors atomic.Uint64
 	blacklisted  atomic.Uint64
+	misbehaved   atomic.Uint64
 }
 
 func (c *nodeCounters) snapshot() NodeStats {
@@ -83,6 +97,7 @@ func (c *nodeCounters) snapshot() NodeStats {
 		Relayed:      c.relayed.Load(),
 		EngineErrors: c.engineErrors.Load(),
 		Blacklisted:  c.blacklisted.Load(),
+		Misbehaved:   c.misbehaved.Load(),
 	}
 }
 
@@ -333,6 +348,14 @@ func (n *Node) admitSession(peer string, sess *securechan.Session) {
 	n.state.sessions[peer] = &relaySession{sess: sess}
 }
 
+// dropSession discards the responder-side session with peer (called by the
+// network when a pair breaks); the next contact from peer re-attests.
+func (n *Node) dropSession(peer string) {
+	n.state.mu.Lock()
+	defer n.state.mu.Unlock()
+	delete(n.state.sessions, peer)
+}
+
 // handleForward is the host-side entry point of the relay: it passes the
 // encrypted request through the call gate. The returned record points into
 // relay-owned scratch and is valid only until the next forward from the
@@ -446,27 +469,40 @@ func (n *Node) Search(query string, now time.Time) (*SearchResult, error) {
 }
 
 // forwardWithRetry forwards one query to relay, retrying over replacement
-// peers when relays are unresponsive; failed relays are blacklisted and each
-// failed attempt costs the relay timeout. Retry bookkeeping (the tried set,
-// replacement sampling) is built lazily on the first failure, so the common
-// all-relays-healthy path does no extra work.
+// peers when relays fail. An unresponsive relay costs the relay timeout and
+// is blacklisted (§VI-b); a misbehaving relay (tampered, replayed or
+// garbage frames) is blacklisted without the timeout — the rejection is
+// immediate; a self-sample is skipped without blacklisting the node itself.
+// Retry bookkeeping (the tried set, replacement sampling) is built lazily
+// on the first failure, so the common all-relays-healthy path does no extra
+// work.
 func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rps.NodeID) (forwardResponse, string, time.Duration, error) {
 	var total time.Duration
 	var tried map[string]struct{}
 	current := relay
+	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		reply, lat, err := n.net.forward(n, current, query, now)
 		total += lat
 		if err == nil {
 			return reply, current, total, nil
 		}
-		if !errors.Is(err, ErrRelayUnavailable) {
+		lastErr = err
+		switch {
+		case errors.Is(err, ErrRelayMisbehaved):
+			n.stats.misbehaved.Add(1)
+			n.peers.Blacklist(rps.NodeID(current))
+			n.stats.blacklisted.Add(1)
+		case errors.Is(err, ErrSelfRelay):
+			// Re-sample without blacklisting: the node is not its own enemy.
+		case errors.Is(err, ErrRelayUnavailable):
+			// Unresponsive relay: pay the timeout, blacklist, pick another.
+			total += n.relayTimeout
+			n.peers.Blacklist(rps.NodeID(current))
+			n.stats.blacklisted.Add(1)
+		default:
 			return forwardResponse{}, current, total, err
 		}
-		// Unresponsive relay: pay the timeout, blacklist, pick another.
-		total += n.relayTimeout
-		n.peers.Blacklist(rps.NodeID(current))
-		n.stats.blacklisted.Add(1)
 		if tried == nil {
 			tried = make(map[string]struct{}, len(exclude)+2)
 			for _, e := range exclude {
@@ -475,6 +511,9 @@ func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rp
 		}
 		next := ""
 		for _, cand := range n.peers.Sample(8) {
+			if string(cand) == n.id {
+				continue // never relay through self, whatever the view says
+			}
 			if _, used := tried[string(cand)]; !used {
 				next = string(cand)
 				break
@@ -486,5 +525,5 @@ func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rp
 		tried[next] = struct{}{}
 		current = next
 	}
-	return forwardResponse{}, current, total, ErrRelayUnavailable
+	return forwardResponse{}, current, total, lastErr
 }

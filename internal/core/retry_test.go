@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cyclosa/internal/rps"
+	"cyclosa/internal/transport"
+)
+
+// retryNet builds a small NullBackend deployment with zero modelled latency
+// and an optional conduit wrapper, for exercising forwardWithRetry edges
+// directly.
+func retryNet(t *testing.T, conduit func(transport.Conduit) transport.Conduit) (*Network, []string) {
+	t.Helper()
+	net, err := NewNetwork(NetworkOptions{
+		Nodes:        10,
+		Seed:         63,
+		Backend:      NullBackend{},
+		LatencyModel: transport.NewModel(63, nil, 0),
+		Conduit:      conduit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, net.NodeIDs()
+}
+
+// dieOnFirstContact fails the first delivery it sees and kills that relay,
+// modelling a relay that dies exactly as the client contacts it mid-retry.
+type dieOnFirstContact struct {
+	inner transport.Conduit
+	net   *Network
+
+	mu     sync.Mutex
+	killed string
+}
+
+func (c *dieOnFirstContact) Deliver(from, to string, payload []byte, now time.Time) ([]byte, time.Duration, error) {
+	c.mu.Lock()
+	if c.killed == "" {
+		c.killed = to
+		c.mu.Unlock()
+		c.net.Kill(to)
+		return nil, 0, fmt.Errorf("%w: relay %s died mid-forward", ErrRelayUnavailable, to)
+	}
+	c.mu.Unlock()
+	return c.inner.Deliver(from, to, payload, now)
+}
+
+// tamperRelay corrupts every delivery to one relay, making it look
+// Byzantine to its clients.
+type tamperRelay struct {
+	inner transport.Conduit
+	relay string
+}
+
+func (c *tamperRelay) Deliver(from, to string, payload []byte, now time.Time) ([]byte, time.Duration, error) {
+	if to == c.relay && len(payload) > 0 {
+		payload[len(payload)/2] ^= 0x20
+	}
+	return c.inner.Deliver(from, to, payload, now)
+}
+
+// TestForwardWithRetryTable walks the exclusion and blacklist edges of the
+// retry loop.
+func TestForwardWithRetryTable(t *testing.T) {
+	type outcome struct {
+		usedRelay string
+		latency   time.Duration
+		err       error
+	}
+	cases := []struct {
+		name string
+		// run builds the scenario and performs the call.
+		run func(t *testing.T) (client *Node, initialRelay string, out outcome)
+		// checks
+		wantErr        error // nil means success required
+		wantUsedMoved  bool  // the successful relay must differ from the initial one
+		wantBlacklists uint64
+		wantMisbehaved uint64
+		wantTimeout    bool // latency must include >= 1 relay timeout
+	}{
+		{
+			name: "healthy relay, first attempt",
+			run: func(t *testing.T) (*Node, string, outcome) {
+				net, ids := retryNet(t, nil)
+				client, relay := net.Node(ids[0]), ids[1]
+				reply, used, lat, err := client.forwardWithRetry(relay, "q", t0, []rps.NodeID{rps.NodeID(relay)})
+				_ = reply
+				return client, relay, outcome{used, lat, err}
+			},
+		},
+		{
+			name: "dead relay, retry lands elsewhere",
+			run: func(t *testing.T) (*Node, string, outcome) {
+				net, ids := retryNet(t, nil)
+				client, relay := net.Node(ids[0]), ids[1]
+				net.Kill(relay)
+				_, used, lat, err := client.forwardWithRetry(relay, "q", t0, []rps.NodeID{rps.NodeID(relay)})
+				return client, relay, outcome{used, lat, err}
+			},
+			wantUsedMoved:  true,
+			wantBlacklists: 1,
+			wantTimeout:    true,
+		},
+		{
+			name: "relay dies mid-retry",
+			run: func(t *testing.T) (*Node, string, outcome) {
+				die := &dieOnFirstContact{}
+				net, ids := retryNet(t, func(direct transport.Conduit) transport.Conduit {
+					die.inner = direct
+					return die
+				})
+				die.net = net
+				client, relay := net.Node(ids[0]), ids[1]
+				_, used, lat, err := client.forwardWithRetry(relay, "q", t0, []rps.NodeID{rps.NodeID(relay)})
+				return client, relay, outcome{used, lat, err}
+			},
+			wantUsedMoved:  true,
+			wantBlacklists: 1,
+			wantTimeout:    true,
+		},
+		{
+			name: "all relays excluded",
+			run: func(t *testing.T) (*Node, string, outcome) {
+				net, ids := retryNet(t, nil)
+				client, relay := net.Node(ids[0]), ids[1]
+				net.Kill(relay)
+				exclude := make([]rps.NodeID, 0, len(ids))
+				for _, id := range ids {
+					exclude = append(exclude, rps.NodeID(id))
+				}
+				_, used, lat, err := client.forwardWithRetry(relay, "q", t0, exclude)
+				return client, relay, outcome{used, lat, err}
+			},
+			wantErr:        ErrNoPeers,
+			wantBlacklists: 1,
+			wantTimeout:    true,
+		},
+		{
+			name: "retry after self-sample",
+			run: func(t *testing.T) (*Node, string, outcome) {
+				net, ids := retryNet(t, nil)
+				client := net.Node(ids[0])
+				// The initial "relay" is the node itself: the forward must be
+				// refused (the engine would see the requester) and the retry
+				// must move on without blacklisting the node.
+				_, used, lat, err := client.forwardWithRetry(client.id, "q", t0, nil)
+				return client, client.id, outcome{used, lat, err}
+			},
+			wantUsedMoved: true,
+		},
+		{
+			name: "misbehaving relay blacklisted without timeout",
+			run: func(t *testing.T) (*Node, string, outcome) {
+				tam := &tamperRelay{}
+				net, ids := retryNet(t, func(direct transport.Conduit) transport.Conduit {
+					tam.inner = direct
+					return tam
+				})
+				client, relay := net.Node(ids[0]), ids[1]
+				tam.relay = relay
+				_, used, lat, err := client.forwardWithRetry(relay, "q", t0, []rps.NodeID{rps.NodeID(relay)})
+				return client, relay, outcome{used, lat, err}
+			},
+			wantUsedMoved:  true,
+			wantBlacklists: 1,
+			wantMisbehaved: 1,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			client, initial, out := tc.run(t)
+			if tc.wantErr != nil {
+				if !errors.Is(out.err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", out.err, tc.wantErr)
+				}
+			} else if out.err != nil {
+				t.Fatalf("unexpected error: %v", out.err)
+			}
+			if tc.wantErr == nil {
+				if out.usedRelay == "" || out.usedRelay == client.id {
+					t.Errorf("usedRelay = %q (must be a peer)", out.usedRelay)
+				}
+				if tc.wantUsedMoved && out.usedRelay == initial {
+					t.Errorf("retry stayed on the failed relay %s", initial)
+				}
+				if !tc.wantUsedMoved && out.usedRelay != initial {
+					t.Errorf("usedRelay = %s, want the initial %s", out.usedRelay, initial)
+				}
+			}
+			st := client.Stats()
+			if st.Blacklisted != tc.wantBlacklists {
+				t.Errorf("blacklisted = %d, want %d", st.Blacklisted, tc.wantBlacklists)
+			}
+			if st.Misbehaved != tc.wantMisbehaved {
+				t.Errorf("misbehaved = %d, want %d", st.Misbehaved, tc.wantMisbehaved)
+			}
+			if tc.wantTimeout && out.latency < client.relayTimeout {
+				t.Errorf("latency %v did not charge the relay timeout %v", out.latency, client.relayTimeout)
+			}
+			if !tc.wantTimeout && out.latency >= client.relayTimeout {
+				t.Errorf("latency %v charged a timeout it should not have", out.latency)
+			}
+		})
+	}
+}
+
+// TestSelfRelayRefused pins the invariant directly: the network refuses to
+// relay a node's query through itself no matter how it is asked.
+func TestSelfRelayRefused(t *testing.T) {
+	net, ids := retryNet(t, nil)
+	client := net.Node(ids[0])
+	_, _, err := net.forward(client, client.id, "own query", t0)
+	if !errors.Is(err, ErrSelfRelay) {
+		t.Fatalf("err = %v, want ErrSelfRelay", err)
+	}
+	if got := net.RequestCount(); got != 0 {
+		t.Errorf("self-forward allocated request id (count %d)", got)
+	}
+}

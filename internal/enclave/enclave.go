@@ -69,6 +69,39 @@ type ECall func(args []byte) ([]byte, error)
 // OCall is an untrusted callback the enclave may invoke (e.g. network I/O).
 type OCall func(args []byte) ([]byte, error)
 
+// GateDir tells a gate observer which way a frame crossed the boundary.
+type GateDir int
+
+// Gate directions.
+const (
+	// GateECall is a host-to-enclave call (the args are host-visible).
+	GateECall GateDir = iota + 1
+	// GateOCall is an enclave-to-host callback (the args leave the enclave).
+	GateOCall
+)
+
+// GateObserver receives every frame crossing any enclave's call gate, before
+// the registered function runs. It exists for boundary invariant checking —
+// internal/simnet installs one to prove plaintext queries only ever cross
+// the boundary inside the frames modelling the enclave's TLS tunnel to the
+// engine. Observers must treat args as read-only and must not call back
+// into the enclave.
+type GateObserver func(e *Enclave, dir GateDir, name string, args []byte)
+
+// gateObserver is the process-wide observer; nil (the default) costs one
+// atomic load per gate crossing.
+var gateObserver atomic.Pointer[GateObserver]
+
+// SetGateObserver installs (or, with nil, removes) the process-wide gate
+// observer. Test instrumentation only.
+func SetGateObserver(f GateObserver) {
+	if f == nil {
+		gateObserver.Store(nil)
+		return
+	}
+	gateObserver.Store(&f)
+}
+
 // Stats reports call-gate and memory counters.
 type Stats struct {
 	ECalls     uint64
@@ -178,6 +211,9 @@ func (e *Enclave) Call(name string, args []byte) ([]byte, error) {
 		return nil, ErrDestroyed
 	}
 	e.ecallCount.Add(1)
+	if obs := gateObserver.Load(); obs != nil {
+		(*obs)(e, GateECall, name, args)
+	}
 	fn, ok := (*e.ecalls.Load())[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownECall, name)
@@ -191,6 +227,9 @@ func (e *Enclave) OCall(name string, args []byte) ([]byte, error) {
 		return nil, ErrDestroyed
 	}
 	e.ocallCount.Add(1)
+	if obs := gateObserver.Load(); obs != nil {
+		(*obs)(e, GateOCall, name, args)
+	}
 	fn, ok := (*e.ocalls.Load())[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: ocall %q", ErrUnknownECall, name)

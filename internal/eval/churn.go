@@ -3,13 +3,16 @@ package eval
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"cyclosa/internal/core"
 	"cyclosa/internal/searchengine"
 	"cyclosa/internal/sensitivity"
+	"cyclosa/internal/simnet"
 	"cyclosa/internal/stats"
 	"cyclosa/internal/transport"
+	"cyclosa/internal/workload"
 )
 
 // ChurnPoint is one failure level of the availability experiment.
@@ -47,12 +50,19 @@ type ChurnOptions struct {
 	FailedFractions []float64
 	// SearchesPerPoint is the number of searches at each level (default 60).
 	SearchesPerPoint int
+	// Clients is the number of concurrent workload clients driving each
+	// level (default 8, capped at the survivor count).
+	Clients int
 }
 
 // RunChurn measures availability and latency at increasing failure levels.
-// Each level uses a fresh deployment (identical seed), kills the chosen
-// fraction, heals the overlay with a bounded number of gossip rounds, and
-// then drives searches from surviving nodes.
+// Each level uses a fresh deployment (identical seed) behind a simnet
+// conduit, crashes the chosen fraction at the transport layer, and then
+// drives searches from surviving nodes through the concurrent workload
+// engine. Unlike an overlay oracle (core.Kill plus healing gossip), the
+// simnet crash leaves dead descriptors circulating: survivors discover the
+// failures the way the paper's clients do — by timing out, blacklisting
+// (§VI-b) and retrying over replacement relays.
 func RunChurn(w *World, opts ChurnOptions) (*ChurnResult, error) {
 	if opts.Nodes == 0 {
 		opts.Nodes = 40
@@ -66,11 +76,15 @@ func RunChurn(w *World, opts ChurnOptions) (*ChurnResult, error) {
 	if opts.SearchesPerPoint == 0 {
 		opts.SearchesPerPoint = 60
 	}
+	if opts.Clients == 0 {
+		opts.Clients = 8
+	}
 	engine := w.FreshEngine(searchengine.Config{RateLimitPerHour: -1})
 	now := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
 
 	res := &ChurnResult{Nodes: opts.Nodes, K: opts.K}
 	for _, frac := range opts.FailedFractions {
+		sim := simnet.New(simnet.Config{Seed: w.Cfg.Seed + 1200})
 		net, err := core.NewNetwork(core.NetworkOptions{
 			Nodes:   opts.Nodes,
 			Seed:    w.Cfg.Seed + 1200,
@@ -79,6 +93,7 @@ func RunChurn(w *World, opts ChurnOptions) (*ChurnResult, error) {
 				return sensitivity.NewAnalyzer(fixedK{}, nil, opts.K)
 			},
 			LatencyModel: transport.TestbedModel(w.Cfg.Seed + 1200),
+			Conduit:      sim.Wrap,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("churn network: %w", err)
@@ -88,29 +103,50 @@ func RunChurn(w *World, opts ChurnOptions) (*ChurnResult, error) {
 
 		failed := int(frac * float64(opts.Nodes))
 		for _, id := range ids[opts.Nodes-failed:] {
-			net.Kill(id)
+			sim.Crash(id)
 		}
-		net.Gossip(10)
 		survivors := ids[:opts.Nodes-failed]
+		clients := opts.Clients
+		if clients > len(survivors) {
+			clients = len(survivors)
+		}
 
 		sample := w.TestSample(opts.SearchesPerPoint)
-		var latencies []float64
-		successes := 0
-		var blacklisted uint64
+		texts := make([]string, len(sample))
 		for i, q := range sample {
-			node := net.Node(survivors[i%len(survivors)])
-			sr, err := node.Search(q.Text, now)
-			if err == nil {
-				successes++
-				latencies = append(latencies, sr.Latency.Seconds())
-			}
+			texts[i] = q.Text
 		}
+
+		var latMu sync.Mutex
+		var latencies []float64
+		run, err := workload.Run(
+			func(client, _ int, query string) error {
+				node := net.Node(survivors[client%len(survivors)])
+				sr, serr := node.Search(query, now)
+				if serr != nil {
+					return serr
+				}
+				latMu.Lock()
+				latencies = append(latencies, sr.Latency.Seconds())
+				latMu.Unlock()
+				return nil
+			},
+			workload.Options{
+				Clients:   clients,
+				Ops:       len(texts),
+				Generator: workload.ReplayQueries(texts),
+			})
+		if err != nil {
+			return nil, fmt.Errorf("churn workload: %w", err)
+		}
+
+		var blacklisted uint64
 		for _, id := range survivors {
 			blacklisted += net.Node(id).Stats().Blacklisted
 		}
 		res.Points = append(res.Points, ChurnPoint{
 			FailedFraction: frac,
-			Availability:   float64(successes) / float64(len(sample)),
+			Availability:   float64(run.Ops) / float64(run.Ops+run.Errors),
 			MedianLatency:  time.Duration(stats.Median(latencies) * float64(time.Second)),
 			Blacklisted:    blacklisted,
 		})

@@ -154,4 +154,3 @@ func DecodeResults(data []byte) ([]Result, []byte, error) {
 	}
 	return results, data, nil
 }
-

@@ -7,9 +7,33 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cyclosa/internal/enclave"
 )
+
+// NonceObserver receives every nonce counter a session consumes: one call
+// per sealed record (send true) and one per successfully opened record
+// (send false). It exists for protocol invariant checking — internal/simnet
+// installs one to prove AEAD nonces never repeat within a session — and is
+// invoked under the session mutex, so it must be fast and must not call
+// back into the session.
+type NonceObserver func(s *Session, send bool, seq uint64)
+
+// nonceObserver is the process-wide observer; nil (the default) costs one
+// atomic load per record on the hot path.
+var nonceObserver atomic.Pointer[NonceObserver]
+
+// SetNonceObserver installs (or, with nil, removes) the process-wide nonce
+// observer. Test instrumentation only: install before the sessions under
+// observation are created and remove when done.
+func SetNonceObserver(f NonceObserver) {
+	if f == nil {
+		nonceObserver.Store(nil)
+		return
+	}
+	nonceObserver.Store(&f)
+}
 
 // Session errors.
 var (
@@ -87,6 +111,9 @@ func (s *Session) EncryptAppend(dst, plaintext []byte) ([]byte, error) {
 	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], s.sendSeq)
 	off := len(dst)
 	dst = binary.BigEndian.AppendUint64(dst, s.sendSeq)
+	if obs := nonceObserver.Load(); obs != nil {
+		(*obs)(s, true, s.sendSeq)
+	}
 	s.sendSeq++
 	return s.sendAEAD.Seal(dst, nonce, plaintext, dst[off:off+8]), nil
 }
@@ -120,6 +147,9 @@ func (s *Session) DecryptAppend(dst, record []byte) ([]byte, error) {
 	pt, err := s.recvAEAD.Open(dst, nonce, record[8:], record[:8])
 	if err != nil {
 		return nil, ErrDecrypt
+	}
+	if obs := nonceObserver.Load(); obs != nil {
+		(*obs)(s, false, seq)
 	}
 	s.recvSeq++
 	return pt, nil

@@ -1,0 +1,357 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cyclosa/internal/core"
+	"cyclosa/internal/sensitivity"
+	"cyclosa/internal/transport"
+	"cyclosa/internal/workload"
+)
+
+// ChaosOptions configures a chaos run.
+type ChaosOptions struct {
+	// Seed derives everything: the network, the schedule, the per-delivery
+	// fault streams and the workload.
+	Seed int64
+	// Nodes is the overlay size (default 20).
+	Nodes int
+	// K is the protection level, fakes per search (default 2; 0 disables
+	// fakes entirely, which also makes a single-client run fully serial).
+	K int
+	// Clients is the number of concurrent workload clients (default 8);
+	// client c drives node c, so distinct clients never share a node's
+	// client half.
+	Clients int
+	// Rounds is the number of schedule/workload rounds (default 8).
+	Rounds int
+	// OpsPerRound is the number of searches per round (default 48).
+	OpsPerRound int
+	// StepsPerRound is how many schedule steps fire between rounds
+	// (default 2).
+	StepsPerRound int
+	// GossipPerRound is the number of overlay heal rounds between workload
+	// rounds (default 4).
+	GossipPerRound int
+	// Faults are the per-delivery fault probabilities (default: a modest
+	// mix of every catalog entry — see DefaultChaosFaults).
+	Faults *FaultConfig
+	// Workload selects the query stream over the sentinel pool: "zipf"
+	// (default), "trace" (pool replay) or "fixed" (one probe query).
+	Workload string
+	// Schedule bounds node-level damage.
+	Schedule ScheduleConfig
+}
+
+// DefaultChaosFaults is the standard chaos mix: every catalog entry fires,
+// none dominates, and roughly one delivery in twelve is faulty.
+func DefaultChaosFaults() FaultConfig {
+	return FaultConfig{
+		Drop:     0.02,
+		BitFlip:  0.015,
+		Truncate: 0.01,
+		Replay:   0.01,
+		Garbage:  0.015,
+		Spike:    0.01,
+	}
+}
+
+// ChaosReport is the outcome of a chaos run, carrying everything the
+// invariant assertions need.
+type ChaosReport struct {
+	// Ops / Errors are the workload totals; Availability is Ops over both.
+	Ops, Errors  uint64
+	Availability float64
+
+	// Sim is the fault-injection accounting.
+	Sim Stats
+	// Schedule is the node-level fault schedule that ran.
+	Schedule []Step
+	// Events is the per-delivery fault log (bounded); EventsOverflow counts
+	// entries past the bound.
+	Events         []Event
+	EventsOverflow uint64
+
+	// Searches, Relayed, Misbehaved, Blacklisted sum the node counters.
+	Searches, Relayed, Misbehaved, Blacklisted uint64
+	// Requests is the network's forward request counter.
+	Requests uint64
+
+	// ErrClasses counts failed searches by protocol error class.
+	ErrClasses map[string]uint64
+	// UnknownErrs samples errors outside the clean protocol classes (a
+	// non-empty list is itself an invariant violation).
+	UnknownErrs []string
+
+	// Queries is the multiset of issued workload queries (determinism
+	// anchor: a fixed seed must reproduce it exactly).
+	Queries map[string]uint64
+
+	// Violations are the continuous checkers' findings, ViolationsOverflow
+	// the count past the bound; WireScans/GateScans/NonceScans prove the
+	// checkers ran.
+	Violations                       []string
+	ViolationsOverflow               uint64
+	WireScans, GateScans, NonceScans uint64
+}
+
+// sentinelPool synthesizes n distinct queries, every one carrying the
+// sentinel, shaped like short web queries.
+func sentinelPool(n int, seed int64) []string {
+	words := []string{
+		"weather", "tickets", "recipe", "train", "hotel", "score", "news",
+		"lyrics", "howto", "cheap", "review", "map", "symptoms", "jobs",
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5e971e1))
+	pool := make([]string, n)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("%s %s %s %d",
+			words[rng.Intn(len(words))], Sentinel, words[rng.Intn(len(words))], i)
+	}
+	return pool
+}
+
+// zipfPool is a workload.Generator drawing from a fixed pool with
+// Zipf-distributed popularity (heavy-tailed, like web search).
+type zipfPool struct {
+	pool []string
+	seed int64
+}
+
+func (g *zipfPool) Stream(client, _ int) workload.Stream {
+	rng := rand.New(rand.NewSource(g.seed + 31 + int64(client)*7919))
+	z := rand.NewZipf(rng, 1.2, 1, uint64(len(g.pool)-1))
+	return streamFunc(func() string { return g.pool[z.Uint64()] })
+}
+
+type streamFunc func() string
+
+func (f streamFunc) Next() string { return f() }
+
+// alwaysSensitive forces k = kmax on every query.
+type alwaysSensitive struct{}
+
+func (alwaysSensitive) IsSensitive([]string) bool { return true }
+
+// Chaos runs the full fault-injection experiment: a simnet-wrapped network
+// under a seed-derived node-level schedule plus per-delivery faults, driven
+// by the concurrent workload engine, with every invariant checker armed.
+// The caller asserts on the report (tests via require-style checks,
+// cyclosa-bench by rendering Check's findings).
+func Chaos(opts ChaosOptions) (*ChaosReport, error) {
+	if opts.Nodes == 0 {
+		opts.Nodes = 20
+	}
+	if opts.Nodes < 4 {
+		return nil, fmt.Errorf("simnet: chaos needs >= 4 nodes, got %d", opts.Nodes)
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 8
+	}
+	if opts.Clients > opts.Nodes {
+		opts.Clients = opts.Nodes
+	}
+	if opts.Rounds <= 0 {
+		opts.Rounds = 8
+	}
+	if opts.OpsPerRound <= 0 {
+		opts.OpsPerRound = 48
+	}
+	if opts.StepsPerRound <= 0 {
+		opts.StepsPerRound = 2
+	}
+	if opts.GossipPerRound <= 0 {
+		opts.GossipPerRound = 4
+	}
+	faults := DefaultChaosFaults()
+	if opts.Faults != nil {
+		faults = *opts.Faults
+	}
+
+	inv := NewInvariants(Sentinel)
+	uninstall := inv.Install()
+	defer uninstall()
+
+	sim := New(Config{Seed: opts.Seed, Faults: faults, Invariants: inv})
+	var analyzerFor func(string) *sensitivity.Analyzer
+	if opts.K > 0 {
+		analyzerFor = func(string) *sensitivity.Analyzer {
+			return sensitivity.NewAnalyzer(alwaysSensitive{}, nil, opts.K)
+		}
+	}
+	net, err := core.NewNetwork(core.NetworkOptions{
+		Nodes:        opts.Nodes,
+		Seed:         opts.Seed,
+		Backend:      core.NullBackend{},
+		LatencyModel: transport.TestbedModel(opts.Seed),
+		AnalyzerFor:  analyzerFor,
+		Conduit:      sim.Wrap,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("simnet: chaos network: %w", err)
+	}
+	ids := net.NodeIDs()
+
+	// Sentinel-bearing bootstrap: every fake a table can produce is
+	// trackable by the plaintext guard.
+	pool := sentinelPool(256, opts.Seed)
+	for i, id := range ids {
+		net.Node(id).BootstrapTable(pool[(i*8)%128 : (i*8)%128+16])
+	}
+
+	var gen workload.Generator
+	switch opts.Workload {
+	case "", "zipf":
+		gen = &zipfPool{pool: pool, seed: opts.Seed}
+	case "trace":
+		gen = workload.ReplayQueries(pool)
+	case "fixed":
+		gen = workload.Fixed(pool[0])
+	default:
+		return nil, fmt.Errorf("simnet: unknown chaos workload %q (want zipf|trace|fixed)", opts.Workload)
+	}
+
+	schedule := GenSchedule(opts.Seed, ids, opts.Schedule)
+	report := &ChaosReport{
+		Schedule:   schedule,
+		ErrClasses: make(map[string]uint64),
+		Queries:    make(map[string]uint64),
+	}
+
+	now := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+	var errMu sync.Mutex
+	op := func(client, _ int, query string) error {
+		node := net.Node(ids[client%len(ids)])
+		_, serr := node.Search(query, now)
+		errMu.Lock()
+		report.Queries[query]++
+		if serr != nil {
+			switch {
+			case errors.Is(serr, core.ErrRelayFailed):
+				report.ErrClasses["relay-failed"]++
+			case errors.Is(serr, core.ErrNoPeers):
+				report.ErrClasses["no-peers"]++
+			default:
+				report.ErrClasses["unknown"]++
+				if len(report.UnknownErrs) < 8 {
+					report.UnknownErrs = append(report.UnknownErrs, serr.Error())
+				}
+			}
+		}
+		errMu.Unlock()
+		return serr
+	}
+
+	step := 0
+	for round := 0; round < opts.Rounds; round++ {
+		for i := 0; i < opts.StepsPerRound && step < len(schedule); i++ {
+			sim.Apply(schedule[step])
+			step++
+		}
+		res, err := workload.Run(op, workload.Options{
+			Clients:   opts.Clients,
+			Ops:       opts.OpsPerRound,
+			Generator: gen,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("simnet: chaos round %d: %w", round, err)
+		}
+		report.Ops += res.Ops
+		report.Errors += res.Errors
+		net.Gossip(opts.GossipPerRound)
+	}
+
+	if total := report.Ops + report.Errors; total > 0 {
+		report.Availability = float64(report.Ops) / float64(total)
+	}
+	report.Sim = sim.Stats()
+	report.Events, report.EventsOverflow = sim.Events()
+	report.Requests = net.RequestCount()
+	for _, id := range ids {
+		st := net.Node(id).Stats()
+		report.Searches += st.Searches
+		report.Relayed += st.Relayed
+		report.Misbehaved += st.Misbehaved
+		report.Blacklisted += st.Blacklisted
+	}
+	report.Violations, report.ViolationsOverflow = inv.Violations()
+	report.WireScans, report.GateScans, report.NonceScans = inv.Scans()
+	return report, nil
+}
+
+// Check verifies the end-of-run invariants and returns one line per
+// violated property (empty means the run upheld the protocol).
+func (r *ChaosReport) Check() []string {
+	var bad []string
+	if len(r.Violations) > 0 || r.ViolationsOverflow > 0 {
+		bad = append(bad, fmt.Sprintf("continuous checkers recorded %d violation(s): %s",
+			uint64(len(r.Violations))+r.ViolationsOverflow, strings.Join(r.Violations, "; ")))
+	}
+	if r.WireScans == 0 || r.GateScans == 0 || r.NonceScans == 0 {
+		bad = append(bad, fmt.Sprintf("a checker never ran (wire=%d gate=%d nonce=%d scans)",
+			r.WireScans, r.GateScans, r.NonceScans))
+	}
+	if r.Misbehaved != r.Sim.ContentFaults() {
+		bad = append(bad, fmt.Sprintf("tamper accounting: %d forged deliveries injected, %d misbehavior rejections observed",
+			r.Sim.ContentFaults(), r.Misbehaved))
+	}
+	if r.Relayed != r.Sim.Delivered {
+		bad = append(bad, fmt.Sprintf("stats drift: relays accounted %d forwards, conduit delivered %d",
+			r.Relayed, r.Sim.Delivered))
+	}
+	if r.Requests != r.Sim.Attempts {
+		bad = append(bad, fmt.Sprintf("stats drift: network issued %d requests, conduit saw %d attempts",
+			r.Requests, r.Sim.Attempts))
+	}
+	if n := r.ErrClasses["unknown"]; n > 0 {
+		bad = append(bad, fmt.Sprintf("%d search(es) failed outside the clean protocol errors: %v",
+			n, r.UnknownErrs))
+	}
+	if r.Searches != r.Ops {
+		bad = append(bad, fmt.Sprintf("search accounting: nodes counted %d completed searches, workload counted %d",
+			r.Searches, r.Ops))
+	}
+	return bad
+}
+
+// String renders the chaos report.
+func (r *ChaosReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos: %d searches, %d failed -> availability %.1f%%\n",
+		r.Ops+r.Errors, r.Errors, 100*r.Availability)
+	fmt.Fprintf(&b, "conduit: %d attempts, %d delivered\n", r.Sim.Attempts, r.Sim.Delivered)
+	fmt.Fprintf(&b, "faults:  drop %d  bitflip %d  truncate %d  replay %d  garbage %d  oversize %d  spike %d  crash-blocked %d  partition-blocked %d\n",
+		r.Sim.Dropped, r.Sim.BitFlipped, r.Sim.Truncated, r.Sim.Replayed,
+		r.Sim.Garbage, r.Sim.Oversized, r.Sim.Spiked, r.Sim.CrashBlocked, r.Sim.PartitionBlocked)
+	fmt.Fprintf(&b, "defense: %d misbehavior rejections, %d blacklistings\n", r.Misbehaved, r.Blacklisted)
+	if len(r.ErrClasses) > 0 {
+		classes := make([]string, 0, len(r.ErrClasses))
+		for c := range r.ErrClasses {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		b.WriteString("errors: ")
+		for i, c := range classes {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%s=%d", c, r.ErrClasses[c])
+		}
+		b.WriteByte('\n')
+	}
+	if bad := r.Check(); len(bad) > 0 {
+		b.WriteString("INVARIANT VIOLATIONS:\n")
+		for _, v := range bad {
+			fmt.Fprintf(&b, "  FAIL %s\n", v)
+		}
+	} else {
+		b.WriteString("invariants: all held (plaintext confinement, nonce uniqueness, tamper rejection, stats consistency, clean failures)\n")
+	}
+	return b.String()
+}

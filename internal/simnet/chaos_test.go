@@ -1,0 +1,89 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSimnetChaos is the acceptance gate of the fault-injection layer: a
+// seeded chaos run over the full fault catalog — node crashes and
+// asymmetric partitions from the seed-derived schedule, plus per-delivery
+// drops, bit flips, truncations, replays, Byzantine garbage and latency
+// spikes — with every invariant checker armed. The protocol must keep the
+// overlay useful (majority of searches complete), reject every forged
+// frame, and leak no plaintext, while the accounting stays exact.
+func TestSimnetChaos(t *testing.T) {
+	opts := ChaosOptions{
+		Seed:        7,
+		Nodes:       20,
+		K:           2,
+		Clients:     8,
+		Rounds:      6,
+		OpsPerRound: 48,
+	}
+	r, err := Chaos(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if bad := r.Check(); len(bad) > 0 {
+		t.Fatalf("invariants violated:\n  %s", strings.Join(bad, "\n  "))
+	}
+
+	// The run must have actually been hostile: every stochastic fault class
+	// plus the node-level schedule must have fired.
+	st := r.Sim
+	if st.Dropped == 0 || st.BitFlipped == 0 || st.Truncated == 0 ||
+		st.Replayed == 0 || st.Garbage+st.Oversized == 0 || st.Spiked == 0 {
+		t.Fatalf("fault mix did not exercise the catalog: %+v", st)
+	}
+	if st.CrashBlocked == 0 {
+		t.Errorf("schedule crashed nodes but no delivery was crash-blocked: %+v", st)
+	}
+	if r.Misbehaved == 0 || r.Blacklisted == 0 {
+		t.Errorf("defenses never engaged: misbehaved=%d blacklisted=%d", r.Misbehaved, r.Blacklisted)
+	}
+
+	// Despite roughly one faulty delivery in twelve plus crashes and
+	// partitions, blacklisting and retry keep the decentralized overlay
+	// serving the vast majority of searches (§VI-b).
+	if r.Availability < 0.75 {
+		t.Errorf("availability = %.2f under chaos, want >= 0.75", r.Availability)
+	}
+	if r.Errors > 0 {
+		// Whatever failed, failed cleanly.
+		if n := r.ErrClasses["unknown"]; n > 0 {
+			t.Errorf("%d unclean failures: %v", n, r.UnknownErrs)
+		}
+	}
+
+	if !strings.Contains(r.String(), "invariants: all held") {
+		t.Errorf("report rendering broken:\n%s", r)
+	}
+}
+
+// TestChaosWorkloads drives the other workload shapes (trace replay and the
+// fixed probe) through a shorter chaos run: the invariants are
+// workload-independent.
+func TestChaosWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos variants")
+	}
+	for _, wl := range []string{"trace", "fixed"} {
+		t.Run(wl, func(t *testing.T) {
+			r, err := Chaos(ChaosOptions{
+				Seed: 19, Nodes: 12, K: 1, Clients: 4,
+				Rounds: 3, OpsPerRound: 24, Workload: wl,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bad := r.Check(); len(bad) > 0 {
+				t.Fatalf("invariants violated:\n  %s", strings.Join(bad, "\n  "))
+			}
+		})
+	}
+	if _, err := Chaos(ChaosOptions{Workload: "nope"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package simnet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterminism: the node-level fault schedule is a pure function
+// of (seed, node list, config).
+func TestScheduleDeterminism(t *testing.T) {
+	ids := []string{"n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7"}
+	cfg := ScheduleConfig{Steps: 48}
+	a := GenSchedule(123, ids, cfg)
+	b := GenSchedule(123, ids, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := GenSchedule(124, ids, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the identical schedule (suspicious)")
+	}
+}
+
+// nullConduit absorbs deliveries, standing in for the network.
+type nullConduit struct{ resp []byte }
+
+func (c nullConduit) Deliver(string, string, []byte, time.Time) ([]byte, time.Duration, error) {
+	return c.resp, 0, nil
+}
+
+// TestFaultStreamDeterminism: the per-delivery fault decisions of a pair
+// are a pure function of (seed, from, to, delivery index) — replaying the
+// same delivery sequence through two Sims yields byte-identical event logs.
+func TestFaultStreamDeterminism(t *testing.T) {
+	run := func() ([]Event, Stats) {
+		sim := New(Config{Seed: 55, Faults: FaultConfig{
+			Drop: 0.1, BitFlip: 0.1, Truncate: 0.1, Replay: 0.1, Garbage: 0.1, Spike: 0.1,
+		}})
+		sim.Wrap(nullConduit{resp: []byte("rrrrrrrrrrrrrrrr")})
+		payload := make([]byte, 64)
+		for i := 0; i < 400; i++ {
+			from, to := "na", "nb"
+			if i%3 == 0 {
+				to = "nc"
+			}
+			for j := range payload {
+				payload[j] = byte(i + j)
+			}
+			_, _, _ = sim.Deliver(from, to, payload, time.Time{})
+		}
+		ev, _ := sim.Events()
+		return ev, sim.Stats()
+	}
+	ev1, st1 := run()
+	ev2, st2 := run()
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Fatal("same seed and delivery sequence produced different event logs")
+	}
+	if st1 != st2 {
+		t.Fatalf("stats differ: %+v vs %+v", st1, st2)
+	}
+	if st1.ContentFaults() == 0 || st1.Dropped == 0 {
+		t.Fatalf("stream injected nothing: %+v", st1)
+	}
+}
+
+// TestChaosSeedDeterminism is the end-to-end regression of the satellite:
+// same seed + same workload ⇒ identical fault schedule and identical query
+// multiset across runs — and with a single serial client (K = 0, no
+// concurrent fan-out) the entire fault event log replays byte for byte.
+func TestChaosSeedDeterminism(t *testing.T) {
+	serial := ChaosOptions{
+		Seed: 11, Nodes: 12, K: 0, Clients: 1,
+		Rounds: 4, OpsPerRound: 24,
+	}
+	r1, err := Chaos(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Chaos(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Schedule, r2.Schedule) {
+		t.Fatal("fault schedules differ across identically-seeded runs")
+	}
+	if !reflect.DeepEqual(r1.Queries, r2.Queries) {
+		t.Fatal("query multisets differ across identically-seeded runs")
+	}
+	if r1.Sim != r2.Sim {
+		t.Fatalf("fault stats differ:\n first: %+v\nsecond: %+v", r1.Sim, r2.Sim)
+	}
+	if !reflect.DeepEqual(r1.Events, r2.Events) {
+		t.Fatal("serial fault event logs differ across identically-seeded runs")
+	}
+	if r1.Ops != r2.Ops || r1.Errors != r2.Errors {
+		t.Fatalf("outcomes differ: %d/%d vs %d/%d", r1.Ops, r1.Errors, r2.Ops, r2.Errors)
+	}
+
+	// Concurrent clients: scheduling may reorder which search trips over
+	// which fault, but the schedule and the query multiset stay identical.
+	concurrent := ChaosOptions{
+		Seed: 13, Nodes: 12, K: 2, Clients: 6,
+		Rounds: 3, OpsPerRound: 30,
+	}
+	c1, err := Chaos(concurrent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Chaos(concurrent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1.Schedule, c2.Schedule) {
+		t.Fatal("concurrent: fault schedules differ")
+	}
+	if !reflect.DeepEqual(c1.Queries, c2.Queries) {
+		t.Fatal("concurrent: query multisets differ")
+	}
+}
+
+// Guard against accidental use of a per-process hash (maphash) in the fault
+// draw: the draw for a fixed (seed, pair, index) must be a stable constant.
+func TestFaultDrawIsProcessStable(t *testing.T) {
+	got := mix(uint64(55), pairHash("na", "nb"), 3)
+	want := mix(uint64(55), pairHash("na", "nb"), 3)
+	if got != want {
+		t.Fatal("mix is not deterministic")
+	}
+	if pairHash("na", "nb") == pairHash("nb", "na") {
+		t.Fatal("pairHash must be direction-sensitive (asymmetric faults)")
+	}
+	// "ab"+"c" and "a"+"bc" must hash apart (the separator matters).
+	if pairHash("ab", "c") == pairHash("a", "bc") {
+		t.Fatal("pairHash concatenation ambiguity")
+	}
+}

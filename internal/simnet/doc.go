@@ -1,0 +1,69 @@
+// Package simnet is the deterministic fault-injection layer of the
+// reproduction: it wraps the core.Network forward path behind the
+// transport.Conduit seam and subjects the protocol to the adversities the
+// paper claims resilience against (§VI), every one of them derived from a
+// single seed so that any failure replays byte for byte.
+//
+// # Fault catalog
+//
+// Node- and link-level faults, applied by the driver through the Sim API
+// (usually from a seed-derived Schedule):
+//
+//   - crash / restart — a crashed relay accepts no deliveries until
+//     restarted; senders time out, blacklist it (§VI-b) and retry elsewhere.
+//     The attestation control plane is assumed reliable: only the forward
+//     data plane crosses the simnet.
+//   - asymmetric partition — deliveries from A to B fail while B to A still
+//     flow, the classic half-open network failure.
+//
+// Per-delivery stochastic faults, drawn from FaultConfig probabilities by a
+// splitmix64 hash of (seed, client, relay, per-pair delivery index) — a
+// pure function, so the fault a given pair sees on its n-th delivery is
+// identical in every run with the same seed:
+//
+//   - drop — the request record vanishes; the sender pays the relay
+//     timeout and blacklists.
+//   - bit flip — one ciphertext bit is inverted in flight; AEAD
+//     authentication must reject it.
+//   - truncation — the record is cut short; the channel must reject it.
+//   - replay — a previously captured record is delivered instead of the
+//     fresh one; the channel's record counters must reject it.
+//   - garbage / oversize — a Byzantine relay answers with fabricated bytes,
+//     half the time of plausible length, half the time a deliberately
+//     oversized page; the client must reject both without panicking.
+//   - latency spike — the delivery succeeds but is charged extra seconds,
+//     exercising tail-latency accounting without sleeping.
+//
+// # Invariants
+//
+// The Invariants checker runs continuously during a chaos run and records
+// violations instead of panicking, so a failing run reports every broken
+// property at once:
+//
+//   - plaintext confinement — queries in a chaos run carry a sentinel
+//     substring; the sentinel must never appear in conduit traffic (always
+//     encrypted on the wire) and must cross the enclave call gate only
+//     inside the "engine" ocall, the frame modelling the enclave's TLS
+//     tunnel to the search engine.
+//   - nonce uniqueness — a securechan.NonceObserver proves every session's
+//     AEAD nonce counters are strictly sequential in both directions, so no
+//     nonce is ever reused under a key.
+//   - no self-relay — no delivery may have the same node on both ends.
+//
+// On top of those, ChaosReport.Check verifies the accounting invariants
+// after the run: tampered frames were all rejected (misbehavior observations
+// equal injected content faults), per-node stats match observed traffic
+// (relay counters equal conduit deliveries, the request counter equals
+// delivery attempts), every search either completed or failed with a clean
+// protocol error, and no invariant checker recorded a violation.
+//
+// # Replaying a failure
+//
+// A chaos run is fully described by its ChaosOptions: the schedule, the
+// per-pair fault streams and the workload's query multiset are all pure
+// functions of Seed. To replay a failing run, re-run with the same options;
+// for a byte-identical fault event log, use a single client and K = 0 (with
+// concurrent clients the schedule and multiset are still identical, but
+// which search trips over which fault depends on goroutine interleaving).
+// `cyclosa-bench -exp chaos -seed N` is the command-line entry point.
+package simnet

@@ -1,0 +1,160 @@
+package simnet
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"cyclosa/internal/enclave"
+	"cyclosa/internal/securechan"
+)
+
+// Sentinel is the substring every chaos-run query carries (bootstrap
+// entries, workload queries and therefore every fake drawn from a table).
+// It is what makes plaintext confinement machine-checkable: twelve bytes
+// this distinctive appear in honest ciphertext or fabricated garbage with
+// negligible probability, so any sighting outside the allowed frames is a
+// leak.
+const Sentinel = "#chaosq:7f3a#"
+
+// Invariants checks protocol invariants continuously during a run and
+// records violations (bounded) instead of panicking, so one failing run
+// reports every broken property. All methods are safe for concurrent use.
+type Invariants struct {
+	sentinel []byte
+
+	mu         sync.Mutex
+	violations []string
+	overflow   uint64
+	// nonces tracks the next expected counter per (session, direction):
+	// AEAD nonces here are counters, so uniqueness is exactly strict
+	// sequentiality.
+	nonces map[nonceKey]uint64
+	// checked counters prove the checkers actually ran.
+	wireScans  uint64
+	gateScans  uint64
+	nonceScans uint64
+}
+
+type nonceKey struct {
+	sess *securechan.Session
+	send bool
+}
+
+// maxViolations bounds the violation list.
+const maxViolations = 64
+
+// NewInvariants builds a checker watching for the given sentinel (use the
+// package Sentinel unless the driver synthesizes its own queries).
+func NewInvariants(sentinel string) *Invariants {
+	return &Invariants{
+		sentinel: []byte(sentinel),
+		nonces:   make(map[nonceKey]uint64),
+	}
+}
+
+// Install hooks the checker into the securechan nonce stream and the
+// enclave call gate, returning an uninstall func. Install before building
+// the network under test (sessions must be observed from their first
+// record) and uninstall when the run ends; the hooks are process-wide, so
+// runs using them must not overlap.
+func (v *Invariants) Install() (uninstall func()) {
+	securechan.SetNonceObserver(v.observeNonce)
+	enclave.SetGateObserver(v.observeGate)
+	return func() {
+		securechan.SetNonceObserver(nil)
+		enclave.SetGateObserver(nil)
+	}
+}
+
+// Violations returns the recorded violations and how many overflowed the
+// list; an empty list from a run whose checkers were exercised means every
+// invariant held.
+func (v *Invariants) Violations() ([]string, uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, len(v.violations))
+	copy(out, v.violations)
+	return out, v.overflow
+}
+
+// Scans reports how many frames each checker examined — a determinism
+// anchor and a guard against silently-disconnected checkers.
+func (v *Invariants) Scans() (wire, gate, nonce uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.wireScans, v.gateScans, v.nonceScans
+}
+
+func (v *Invariants) violate(format string, args ...any) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.violations) >= maxViolations {
+		v.overflow++
+		return
+	}
+	v.violations = append(v.violations, fmt.Sprintf(format, args...))
+}
+
+// checkWire asserts the confinement invariants on one conduit frame: no
+// self-delivery, and no sentinel (every inter-node record is encrypted; a
+// plaintext query on the wire is the §IV failure mode).
+func (v *Invariants) checkWire(from, to string, frame []byte) {
+	v.mu.Lock()
+	v.wireScans++
+	v.mu.Unlock()
+	if from == to {
+		v.violate("self-delivery: %s forwarded through itself", from)
+	}
+	if bytes.Contains(frame, v.sentinel) {
+		v.violate("plaintext query on the wire %s->%s (%d-byte frame)", from, to, len(frame))
+	}
+}
+
+// observeGate asserts plaintext confinement at the enclave boundary: the
+// sentinel may cross the call gate only inside the "engine" ocall — the
+// frame modelling the enclave's TLS tunnel to the search engine — never in
+// any other ecall or ocall frame.
+func (v *Invariants) observeGate(e *enclave.Enclave, dir enclave.GateDir, name string, args []byte) {
+	v.mu.Lock()
+	v.gateScans++
+	v.mu.Unlock()
+	if !bytes.Contains(args, v.sentinel) {
+		return
+	}
+	if dir == enclave.GateOCall && name == "engine" {
+		return
+	}
+	kind := "ecall"
+	if dir == enclave.GateOCall {
+		kind = "ocall"
+	}
+	v.violate("plaintext query crossed the enclave boundary in %s %q", kind, name)
+}
+
+// observeNonce asserts per-session nonce uniqueness: the counters must be
+// strictly sequential from zero in each direction, so no (key, nonce) pair
+// ever repeats.
+func (v *Invariants) observeNonce(s *securechan.Session, send bool, seq uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.nonceScans++
+	key := nonceKey{sess: s, send: send}
+	want := v.nonces[key]
+	if seq != want {
+		dir := "recv"
+		if send {
+			dir = "send"
+		}
+		if len(v.violations) >= maxViolations {
+			v.overflow++
+		} else {
+			v.violations = append(v.violations,
+				fmt.Sprintf("nonce counter out of sequence (%s): got %d, want %d", dir, seq, want))
+		}
+		if seq < want {
+			return // never wind a counter back: that is the reuse we guard against
+		}
+	}
+	v.nonces[key] = seq + 1
+}

@@ -1,0 +1,23 @@
+package transport
+
+import "time"
+
+// Conduit is the delivery seam of the forward data plane: it carries one
+// encrypted request record from a client node to a relay node and returns
+// the relay's encrypted response record. core.Network installs a direct
+// in-process conduit by default; internal/simnet wraps it with a
+// deterministic fault-injection layer (crashes, partitions, tampering,
+// replay, Byzantine responses) without the protocol code knowing.
+//
+// The injected duration is extra link latency to charge to the path on top
+// of the model-sampled latency (zero for the direct conduit); it lets a
+// wrapper express latency spikes without sleeping.
+//
+// Ownership: payload may be mutated or retained only for the duration of
+// the call (it aliases the caller's per-pair scratch buffer); the returned
+// response is valid only until the next delivery between the same pair and
+// must be consumed before then, exactly like the relay-owned scratch it
+// usually points into.
+type Conduit interface {
+	Deliver(from, to string, payload []byte, now time.Time) (resp []byte, injected time.Duration, err error)
+}
