@@ -324,17 +324,14 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 		return forwardResponse{}, 0, fmt.Errorf("%w: unknown relay %s", ErrRelayUnavailable, relayID)
 	}
 
-	ps, err := net.pair(client, relay)
-	if err != nil {
-		return forwardResponse{}, 0, err
-	}
+	ps := net.pairEntry(client.id, relay.id)
 	// The secure channel enforces strictly increasing record sequence
 	// numbers, so the encrypt → relay → decrypt exchange of one pair is a
-	// critical section; distinct pairs proceed in parallel.
+	// critical section; distinct pairs proceed in parallel. Attestation
+	// (first use, or re-attestation after a break) runs under the same
+	// lock acquisition — one lock round trip per forward.
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
-	// A concurrent forward may have broken the pair between pair() and the
-	// lock above; re-attest under the lock we now hold.
 	if err := net.ensurePairLocked(ps, client, relay); err != nil {
 		return forwardResponse{}, 0, err
 	}
@@ -345,10 +342,14 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 		net.model.ProcessingCost() +
 		net.model.Sample(transport.LinkWAN)
 
-	requestID := net.nextRequestID()
+	// Reject oversized queries before allocating a request id: the counter
+	// must equal the conduit delivery attempts (the chaos invariant
+	// requests == attempts), so no id may be consumed on a path that never
+	// reaches Deliver.
 	if len(query) > maxWireQueryLen {
 		return forwardResponse{}, latency, fmt.Errorf("%w: query %d bytes", ErrWireOversize, len(query))
 	}
+	requestID := net.nextRequestID()
 
 	// Encode in place behind a 4-byte length prefix, then pad to the fixed
 	// request size so a link observer cannot distinguish requests by
@@ -361,6 +362,9 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 
 	ct, err := ps.client.EncryptAppend(ps.ctBuf[:0], plain)
 	if err != nil {
+		// Unreachable for an open session (sealing cannot fail), and
+		// ensurePairLocked above guarantees one under ps.mu — kept only so a
+		// future securechan change fails loudly rather than silently.
 		return forwardResponse{}, latency, fmt.Errorf("client encrypt: %w", err)
 	}
 	ps.ctBuf = ct
@@ -404,8 +408,14 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 // tampered with, or answered with garbage) leaves the two record counters
 // out of step, which would poison every later forward on the pair with
 // sequence mismatches; discarding both halves makes the next forward
-// re-attest from scratch instead. Caller holds ps.mu.
+// re-attest from scratch instead. Both halves are closed so per-session
+// observers (the simnet nonce checker) can release their bookkeeping.
+// Caller holds ps.mu, which also serializes this with any use of either
+// half: both are only ever touched inside the pair's critical section.
 func (net *Network) breakPair(ps *pairState, client, relay *Node) {
+	if ps.client != nil {
+		ps.client.Close()
+	}
 	ps.client = nil
 	relay.dropSession(client.id)
 }
@@ -420,13 +430,13 @@ func (net *Network) pairShardFor(key pairKey) *pairShard {
 	return &net.pairShards[h.Sum64()%pairShardCount]
 }
 
-// pair returns (establishing on first use) the attested session state
-// between client and relay. The read path takes only a shard read lock;
-// first use upgrades to the shard write lock to insert the state, and the
-// attestation handshake itself runs under the pair's own lock so other
-// shard entries stay available.
-func (net *Network) pair(client *Node, relay *Node) (*pairState, error) {
-	key := pairKey{client.id, relay.id}
+// pairEntry returns the pair state slot for client -> relay, inserting an
+// empty one on first use. The read path takes only a shard read lock; first
+// use upgrades to the shard write lock to insert. The slot may have no live
+// session — callers attest via ensurePairLocked under the pair's own lock,
+// so other shard entries stay available during the handshake.
+func (net *Network) pairEntry(clientID, relayID string) *pairState {
+	key := pairKey{clientID, relayID}
 	shard := net.pairShardFor(key)
 
 	shard.mu.RLock()
@@ -441,7 +451,13 @@ func (net *Network) pair(client *Node, relay *Node) (*pairState, error) {
 		}
 		shard.mu.Unlock()
 	}
+	return ps
+}
 
+// pair returns (establishing on first use) the attested session state
+// between client and relay.
+func (net *Network) pair(client *Node, relay *Node) (*pairState, error) {
+	ps := net.pairEntry(client.id, relay.id)
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	if err := net.ensurePairLocked(ps, client, relay); err != nil {

@@ -341,18 +341,25 @@ func (n *Node) BootstrapTable(queries []string) {
 }
 
 // admitSession installs a responder-side session (called by the network
-// after mutual attestation).
+// after mutual attestation), closing any leftover it replaces.
 func (n *Node) admitSession(peer string, sess *securechan.Session) {
 	n.state.mu.Lock()
 	defer n.state.mu.Unlock()
+	if old := n.state.sessions[peer]; old != nil {
+		old.sess.Close()
+	}
 	n.state.sessions[peer] = &relaySession{sess: sess}
 }
 
-// dropSession discards the responder-side session with peer (called by the
-// network when a pair breaks); the next contact from peer re-attests.
+// dropSession discards and closes the responder-side session with peer
+// (called by the network when a pair breaks); the next contact from peer
+// re-attests.
 func (n *Node) dropSession(peer string) {
 	n.state.mu.Lock()
 	defer n.state.mu.Unlock()
+	if old := n.state.sessions[peer]; old != nil {
+		old.sess.Close()
+	}
 	delete(n.state.sessions, peer)
 }
 
@@ -472,7 +479,8 @@ func (n *Node) Search(query string, now time.Time) (*SearchResult, error) {
 // peers when relays fail. An unresponsive relay costs the relay timeout and
 // is blacklisted (§VI-b); a misbehaving relay (tampered, replayed or
 // garbage frames) is blacklisted without the timeout — the rejection is
-// immediate; a self-sample is skipped without blacklisting the node itself.
+// immediate; a self-sample is skipped without blacklisting the node itself
+// and without consuming one of the retry attempts (no forward was issued).
 // Retry bookkeeping (the tried set, replacement sampling) is built lazily
 // on the first failure, so the common all-relays-healthy path does no extra
 // work.
@@ -494,7 +502,11 @@ func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rp
 			n.peers.Blacklist(rps.NodeID(current))
 			n.stats.blacklisted.Add(1)
 		case errors.Is(err, ErrSelfRelay):
-			// Re-sample without blacklisting: the node is not its own enemy.
+			// Re-sample without blacklisting (the node is not its own enemy)
+			// and without consuming an attempt: no forward was issued, so the
+			// search keeps its full retry budget. At most one iteration can
+			// land here — replacements below never sample the node itself.
+			attempt--
 		case errors.Is(err, ErrRelayUnavailable):
 			// Unresponsive relay: pay the timeout, blacklist, pick another.
 			total += n.relayTimeout

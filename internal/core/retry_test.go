@@ -29,20 +29,25 @@ func retryNet(t *testing.T, conduit func(transport.Conduit) transport.Conduit) (
 	return net, net.NodeIDs()
 }
 
-// dieOnFirstContact fails the first delivery it sees and kills that relay,
-// modelling a relay that dies exactly as the client contacts it mid-retry.
+// dieOnFirstContact kills the first `kills` distinct relays the client
+// contacts: each such relay fails its first delivery and goes down,
+// modelling relays that die exactly as the client reaches them mid-retry.
 type dieOnFirstContact struct {
 	inner transport.Conduit
 	net   *Network
+	kills int
 
 	mu     sync.Mutex
-	killed string
+	killed map[string]bool
 }
 
 func (c *dieOnFirstContact) Deliver(from, to string, payload []byte, now time.Time) ([]byte, time.Duration, error) {
 	c.mu.Lock()
-	if c.killed == "" {
-		c.killed = to
+	if c.killed == nil {
+		c.killed = make(map[string]bool)
+	}
+	if !c.killed[to] && len(c.killed) < c.kills {
+		c.killed[to] = true
 		c.mu.Unlock()
 		c.net.Kill(to)
 		return nil, 0, fmt.Errorf("%w: relay %s died mid-forward", ErrRelayUnavailable, to)
@@ -110,7 +115,7 @@ func TestForwardWithRetryTable(t *testing.T) {
 		{
 			name: "relay dies mid-retry",
 			run: func(t *testing.T) (*Node, string, outcome) {
-				die := &dieOnFirstContact{}
+				die := &dieOnFirstContact{kills: 1}
 				net, ids := retryNet(t, func(direct transport.Conduit) transport.Conduit {
 					die.inner = direct
 					return die
@@ -153,6 +158,26 @@ func TestForwardWithRetryTable(t *testing.T) {
 				return client, client.id, outcome{used, lat, err}
 			},
 			wantUsedMoved: true,
+		},
+		{
+			name: "self-sample does not consume an attempt",
+			run: func(t *testing.T) (*Node, string, outcome) {
+				// Self-sample, then two relays that die on contact: the search
+				// still has its full three-forward budget after the self skip,
+				// so the third sampled relay completes it.
+				die := &dieOnFirstContact{kills: 2}
+				net, ids := retryNet(t, func(direct transport.Conduit) transport.Conduit {
+					die.inner = direct
+					return die
+				})
+				die.net = net
+				client := net.Node(ids[0])
+				_, used, lat, err := client.forwardWithRetry(client.id, "q", t0, nil)
+				return client, client.id, outcome{used, lat, err}
+			},
+			wantUsedMoved:  true,
+			wantBlacklists: 2,
+			wantTimeout:    true,
 		},
 		{
 			name: "misbehaving relay blacklisted without timeout",

@@ -24,8 +24,9 @@ type ChaosOptions struct {
 	OpsPerRound int
 	// Workload selects the query stream: zipf (default) | trace | fixed.
 	Workload string
-	// Intensity scales the default fault probabilities (default 1.0; 0
-	// keeps 1.0 — pass through -chaos-intensity).
+	// Intensity scales the default fault probabilities. 0 disables the
+	// stochastic faults entirely (the crash/partition schedule still runs);
+	// the cyclosa-bench -chaos-intensity flag defaults to 1.
 	Intensity float64
 }
 
@@ -47,9 +48,6 @@ func RunChaos(opts ChaosOptions) (*ChaosExperimentResult, error) {
 	}
 	if opts.K == 0 {
 		opts.K = 2
-	}
-	if opts.Intensity == 0 {
-		opts.Intensity = 1
 	}
 	if opts.Intensity < 0 {
 		return nil, fmt.Errorf("eval: chaos intensity must be >= 0, got %g", opts.Intensity)

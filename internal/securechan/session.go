@@ -35,6 +35,25 @@ func SetNonceObserver(f NonceObserver) {
 	nonceObserver.Store(&f)
 }
 
+// CloseObserver is notified once when a session transitions to closed. It
+// lets per-session bookkeeping keyed by live *Session pointers (the simnet
+// nonce checker) release entries for sessions the protocol has discarded,
+// so long runs with many break/re-attest cycles stay bounded. Invoked under
+// the session mutex; same constraints as NonceObserver.
+type CloseObserver func(s *Session)
+
+var closeObserver atomic.Pointer[CloseObserver]
+
+// SetCloseObserver installs (or, with nil, removes) the process-wide close
+// observer. Test instrumentation only.
+func SetCloseObserver(f CloseObserver) {
+	if f == nil {
+		closeObserver.Store(nil)
+		return
+	}
+	closeObserver.Store(&f)
+}
+
 // Session errors.
 var (
 	ErrDecrypt  = errors.New("securechan: decryption failed (tampered, replayed or out of order)")
@@ -155,9 +174,16 @@ func (s *Session) DecryptAppend(dst, record []byte) ([]byte, error) {
 	return pt, nil
 }
 
-// Close invalidates the session.
+// Close invalidates the session. Idempotent; the close observer fires only
+// on the open -> closed transition.
 func (s *Session) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
 	s.closed = true
+	if obs := closeObserver.Load(); obs != nil {
+		(*obs)(s)
+	}
 }

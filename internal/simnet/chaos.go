@@ -65,9 +65,16 @@ func DefaultChaosFaults() FaultConfig {
 // ChaosReport is the outcome of a chaos run, carrying everything the
 // invariant assertions need.
 type ChaosReport struct {
-	// Ops / Errors are the workload totals; Availability is Ops over both.
+	// Ops / Errors are the workload totals over live clients; Availability
+	// is Ops over both. Ops a crashed node would have issued are counted in
+	// CrashedClientOps instead and excluded from all three.
 	Ops, Errors  uint64
 	Availability float64
+	// CrashedClientOps counts workload ops skipped because the issuing node
+	// was crashed when the op fired: Sim.Crash models a crashed client as
+	// simply not being driven, so these are neither completed searches nor
+	// protocol failures.
+	CrashedClientOps uint64
 
 	// Sim is the fault-injection accounting.
 	Sim Stats
@@ -89,8 +96,9 @@ type ChaosReport struct {
 	// non-empty list is itself an invariant violation).
 	UnknownErrs []string
 
-	// Queries is the multiset of issued workload queries (determinism
-	// anchor: a fixed seed must reproduce it exactly).
+	// Queries is the multiset of drawn workload queries, including those
+	// skipped because the issuing node was crashed (determinism anchor: a
+	// fixed seed must reproduce it exactly).
 	Queries map[string]uint64
 
 	// Violations are the continuous checkers' findings, ViolationsOverflow
@@ -138,6 +146,11 @@ func (f streamFunc) Next() string { return f() }
 type alwaysSensitive struct{}
 
 func (alwaysSensitive) IsSensitive([]string) bool { return true }
+
+// errClientCrashed marks a workload op skipped because its issuing node was
+// crashed when the op fired; Chaos counts these in CrashedClientOps and
+// subtracts them from the error totals.
+var errClientCrashed = errors.New("simnet: issuing node crashed, op skipped")
 
 // Chaos runs the full fault-injection experiment: a simnet-wrapped network
 // under a seed-derived node-level schedule plus per-delivery faults, driven
@@ -226,9 +239,30 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 
 	now := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
 	var errMu sync.Mutex
-	op := func(client, _ int, query string) error {
-		node := net.Node(ids[client%len(ids)])
-		_, serr := node.Search(query, now)
+	op := func(client, seq int, query string) error {
+		id := ids[client%len(ids)]
+		// Warmup invocations carry negative seqs and are discarded by the
+		// engine's counters; keep them out of the report's counters too, or
+		// the Errors -= CrashedClientOps correction below (and the query
+		// multiset) would drift from what the engine measured.
+		measured := seq >= 0
+		if sim.Crashed(id) {
+			// A crashed client is modelled by not driving it (see Sim.Crash):
+			// the node must not originate searches while down. The query still
+			// counts toward the determinism anchor — the crash set is fixed
+			// within a round, so the skip replays with the seed.
+			if measured {
+				errMu.Lock()
+				report.Queries[query]++
+				report.CrashedClientOps++
+				errMu.Unlock()
+			}
+			return errClientCrashed
+		}
+		_, serr := net.Node(id).Search(query, now)
+		if !measured {
+			return serr
+		}
 		errMu.Lock()
 		report.Queries[query]++
 		if serr != nil {
@@ -267,6 +301,12 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 		net.Gossip(opts.GossipPerRound)
 	}
 
+	// The workload engine counted every measured crashed-client skip as an
+	// error (op returned errClientCrashed), and op counted exactly those
+	// same invocations in CrashedClientOps (warmup ops are excluded on both
+	// sides); pull them back out so Errors and Availability measure only
+	// searches live clients actually issued.
+	report.Errors -= report.CrashedClientOps
 	if total := report.Ops + report.Errors; total > 0 {
 		report.Availability = float64(report.Ops) / float64(total)
 	}
@@ -323,8 +363,8 @@ func (r *ChaosReport) Check() []string {
 // String renders the chaos report.
 func (r *ChaosReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Chaos: %d searches, %d failed -> availability %.1f%%\n",
-		r.Ops+r.Errors, r.Errors, 100*r.Availability)
+	fmt.Fprintf(&b, "Chaos: %d searches, %d failed, %d skipped (client crashed) -> availability %.1f%%\n",
+		r.Ops+r.Errors, r.Errors, r.CrashedClientOps, 100*r.Availability)
 	fmt.Fprintf(&b, "conduit: %d attempts, %d delivered\n", r.Sim.Attempts, r.Sim.Delivered)
 	fmt.Fprintf(&b, "faults:  drop %d  bitflip %d  truncate %d  replay %d  garbage %d  oversize %d  spike %d  crash-blocked %d  partition-blocked %d\n",
 		r.Sim.Dropped, r.Sim.BitFlipped, r.Sim.Truncated, r.Sim.Replayed,

@@ -28,7 +28,9 @@ type Invariants struct {
 	overflow   uint64
 	// nonces tracks the next expected counter per (session, direction):
 	// AEAD nonces here are counters, so uniqueness is exactly strict
-	// sequentiality.
+	// sequentiality. Entries are dropped when the session closes (the core
+	// layer closes every half it discards on breakPair/re-attest), so the
+	// map tracks live sessions only and long chaos soaks stay bounded.
 	nonces map[nonceKey]uint64
 	// checked counters prove the checkers actually ran.
 	wireScans  uint64
@@ -60,9 +62,11 @@ func NewInvariants(sentinel string) *Invariants {
 // runs using them must not overlap.
 func (v *Invariants) Install() (uninstall func()) {
 	securechan.SetNonceObserver(v.observeNonce)
+	securechan.SetCloseObserver(v.observeClose)
 	enclave.SetGateObserver(v.observeGate)
 	return func() {
 		securechan.SetNonceObserver(nil)
+		securechan.SetCloseObserver(nil)
 		enclave.SetGateObserver(nil)
 	}
 }
@@ -157,4 +161,15 @@ func (v *Invariants) observeNonce(s *securechan.Session, send bool, seq uint64) 
 		}
 	}
 	v.nonces[key] = seq + 1
+}
+
+// observeClose releases the nonce bookkeeping of a discarded session. A
+// closed session refuses every further record, so its counters can never be
+// consulted again; without this, breakPair -> re-attest cycles would grow
+// the map (and pin the dead sessions) for the length of a soak.
+func (v *Invariants) observeClose(s *securechan.Session) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.nonces, nonceKey{sess: s, send: true})
+	delete(v.nonces, nonceKey{sess: s, send: false})
 }

@@ -1,0 +1,75 @@
+package simnet
+
+import (
+	"testing"
+
+	"cyclosa/internal/enclave"
+	"cyclosa/internal/securechan"
+)
+
+// TestNoncePruningOnSessionClose: discarded sessions must not pin the
+// checker's nonce bookkeeping. The core layer closes every session half it
+// drops on a pair break, and closing must release the corresponding map
+// entries — otherwise a long soak of breakPair -> re-attest cycles grows
+// the map (and the dead sessions it keys on) without bound.
+func TestNoncePruningOnSessionClose(t *testing.T) {
+	inv := NewInvariants(Sentinel)
+	uninstall := inv.Install()
+	defer uninstall()
+
+	tracked := func() int {
+		inv.mu.Lock()
+		defer inv.mu.Unlock()
+		return len(inv.nonces)
+	}
+
+	ias := enclave.NewIAS()
+	pa, err := enclave.NewPlatform("plat-a", ias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := enclave.NewPlatform("plat-b", ias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := enclave.Config{Name: "cyclosa", Version: 1}
+	verifier := enclave.NewVerifier(ias, enclave.MeasureCode("cyclosa", 1))
+	ha, err := securechan.NewHandshaker(pa.New(cfg), verifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := securechan.NewHandshaker(pb.New(cfg), verifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three establish -> exchange -> discard cycles: the map must fill while
+	// a session is live and drain back to empty each time it is closed.
+	for i := 0; i < 3; i++ {
+		sa, sb, err := securechan.EstablishPair(ha, hb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := sa.Encrypt([]byte("probe"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sb.Decrypt(ct); err != nil {
+			t.Fatal(err)
+		}
+		if got := tracked(); got == 0 {
+			t.Fatal("nonce checker tracked no live session")
+		}
+		sa.Close()
+		sb.Close()
+		if got := tracked(); got != 0 {
+			t.Fatalf("cycle %d: %d nonce entries survived session close", i, got)
+		}
+	}
+	if _, _, nonce := inv.Scans(); nonce == 0 {
+		t.Fatal("nonce checker never ran")
+	}
+	if viol, over := inv.Violations(); len(viol) != 0 || over != 0 {
+		t.Fatalf("unexpected violations: %v (+%d)", viol, over)
+	}
+}
