@@ -8,11 +8,12 @@
 //	cyclosa-bench -exp fig8c -duration 2s -concurrency 16
 //	cyclosa-bench -exp loadtest -concurrency 32 -duration 2s -workload zipf
 //	cyclosa-bench -exp relay -json BENCH_relay.json
+//	cyclosa-bench -exp net -json BENCH_net.json
 //	cyclosa-bench -exp chaos -seed 7 -workload zipf -chaos-intensity 2
 //
 // Experiments: table1, crowd, table2, fig5, fig6, fig7, fig8a, fig8b,
-// fig8c, fig8d, loadtest, relay, chaos, all (everything except the
-// real-time fig8c, loadtest and relay unless explicitly requested).
+// fig8c, fig8d, loadtest, relay, net, chaos, all (everything except the
+// real-time fig8c, loadtest, relay and net unless explicitly requested).
 //
 // The chaos experiment drives the internal/simnet fault-injection layer:
 // a seed-derived crash/restart/partition schedule plus per-delivery drops,
@@ -24,6 +25,11 @@
 // The relay experiment measures the single-relay forward hot path (the
 // binary wire codec + pooled-buffer round trip) in a closed loop and can
 // emit the measurement as JSON (-json) for CI perf tracking.
+//
+// The net experiment measures the same forward round trip over the
+// in-process direct conduit and over loopback TCP through the
+// internal/nettrans frame protocol (serial RTT plus a -concurrency
+// multiplexed phase), emitting BENCH_net.json with -json.
 //
 // The loadtest experiment drives the concurrent workload engine
 // (internal/workload) against the full forward path of one relay with a
@@ -52,7 +58,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cyclosa-bench", flag.ContinueOnError)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|chaos|loadtest|relay|all")
+		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|chaos|loadtest|relay|net|all")
 		seed        = fs.Int64("seed", 1, "random seed")
 		users       = fs.Int("users", 198, "workload users (paper: 198)")
 		mean        = fs.Int("mean-queries", 120, "mean queries per user")
@@ -61,8 +67,8 @@ func run(args []string) error {
 		concurrency = fs.Int("concurrency", 8, "concurrent client goroutines for fig8c and loadtest")
 		workloadGen = fs.String("workload", "fixed", "loadtest query workload: fixed|zipf|trace")
 		rate        = fs.Float64("rate", 0, "loadtest open-loop offered rate in req/s (0 = closed loop)")
-		iterations  = fs.Int("iterations", 0, "relay experiment iteration count (0 = default)")
-		jsonOut     = fs.String("json", "", "relay experiment: also write the result as JSON to this path (e.g. BENCH_relay.json)")
+		iterations  = fs.Int("iterations", 0, "relay/net experiment iteration count (0 = default)")
+		jsonOut     = fs.String("json", "", "relay/net experiment: also write the result as JSON to this path (e.g. BENCH_relay.json, BENCH_net.json)")
 		intensity   = fs.Float64("chaos-intensity", 1, "chaos experiment: scale on the default fault probabilities")
 		rounds      = fs.Int("chaos-rounds", 8, "chaos experiment: schedule/workload rounds")
 	)
@@ -80,7 +86,7 @@ func run(args []string) error {
 	})
 
 	want := strings.ToLower(*exp)
-	needWorld := want != "table1" && want != "loadtest" && want != "relay" && want != "chaos"
+	needWorld := want != "table1" && want != "loadtest" && want != "relay" && want != "chaos" && want != "net"
 
 	var world *eval.World
 	if needWorld {
@@ -183,6 +189,24 @@ func run(args []string) error {
 			}
 			return nil
 		}},
+		{"net", func() error {
+			r, err := eval.RunNetBench(eval.NetBenchOptions{
+				Seed:        *seed,
+				Iterations:  *iterations,
+				Concurrency: *concurrency,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			if *jsonOut != "" {
+				if err := r.WriteJSON(*jsonOut); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+			}
+			return nil
+		}},
 		{"fig8d", func() error {
 			r, err := eval.RunLoadBalancing(world, eval.LoadBalancingOptions{})
 			if err != nil {
@@ -239,7 +263,7 @@ func run(args []string) error {
 		if want != "all" && want != e.name {
 			continue
 		}
-		if want == "all" && (e.name == "fig8c" || e.name == "loadtest" || e.name == "relay") {
+		if want == "all" && (e.name == "fig8c" || e.name == "loadtest" || e.name == "relay" || e.name == "net") {
 			fmt.Printf("%s: skipped in -exp all (real-time load test); run -exp %s explicitly\n", e.name, e.name)
 			continue
 		}

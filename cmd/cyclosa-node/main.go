@@ -1,51 +1,78 @@
-// Command cyclosa-node demonstrates the networked deployment path: a relay
-// node serving attested secure channels over real TCP, and a client that
-// attests it, forwards a query and prints the results.
+// Command cyclosa-node is the networked deployment: a long-running relay
+// daemon serving many concurrent clients over the internal/nettrans frame
+// protocol, and a client that attests it and multiplexes queries over one
+// attested session.
 //
 // Usage:
 //
-//	cyclosa-node -mode demo                 # relay + client in one process
-//	cyclosa-node -mode relay -listen :7844  # long-running relay
+//	cyclosa-node -mode node -listen :7844                # long-running daemon
+//	cyclosa-node -mode node -listen :7845 -peers host:7844
 //	cyclosa-node -mode client -connect host:7844 -query "terms"
+//	cyclosa-node -mode client -connect host:7844 -n 100 -concurrency 8
+//	cyclosa-node -mode demo                              # daemon + client in one process
 //
-// Separate relay and client processes must share the -ias-secret flag: it
-// stands in for Intel's platform provisioning, letting both sides
-// reconstruct the attestation roots. The relay answers from its local
-// simulated search engine; in a production deployment this is the TLS
-// connection to the real engine originating inside the enclave.
+// The daemon serves the attested query service: each connection runs one
+// remote-attestation handshake, then any number of in-flight queries
+// multiplex over the session as frame streams. It drains gracefully on
+// SIGINT/SIGTERM (stop accepting, finish in-flight exchanges, close). With
+// -peers it bootstraps by dialing and attesting the given peer daemons at
+// start-up, the seed of a multi-daemon overlay.
+//
+// The client issues -n queries over ONE attested session using -concurrency
+// worker goroutines — the stream-multiplexing path, not n serial
+// connections — and reports throughput and latency.
+//
+// Separate processes must share the -ias-secret flag: it stands in for
+// Intel's platform provisioning, letting every side reconstruct the
+// attestation roots. The daemon answers from its local simulated search
+// engine; in a production deployment this is the TLS connection to the real
+// engine originating inside the enclave.
 package main
 
 import (
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"net"
 	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"cyclosa/internal/core"
 	"cyclosa/internal/enclave"
+	"cyclosa/internal/nettrans"
 	"cyclosa/internal/queries"
 	"cyclosa/internal/searchengine"
 	"cyclosa/internal/securechan"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], nil, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "cyclosa-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run drives one invocation. ready (when non-nil) receives the daemon's
+// bound address; stop (when non-nil) shuts the daemon down — both exist so
+// tests can run modes in-process without signals.
+func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("cyclosa-node", flag.ContinueOnError)
 	var (
-		mode      = fs.String("mode", "demo", "demo|relay|client")
-		listen    = fs.String("listen", "127.0.0.1:7844", "relay listen address")
-		connect   = fs.String("connect", "127.0.0.1:7844", "client target address")
-		query     = fs.String("query", "", "client query (default: a topical sample)")
-		seed      = fs.Int64("seed", 1, "seed for the relay's simulated engine")
-		iasSecret = fs.String("ias-secret", "cyclosa-demo", "shared attestation provisioning secret")
+		mode        = fs.String("mode", "demo", "node|client|demo (relay = deprecated alias of node)")
+		listen      = fs.String("listen", "127.0.0.1:7844", "daemon listen address")
+		connect     = fs.String("connect", "127.0.0.1:7844", "client target address")
+		query       = fs.String("query", "", "client query (default: topical samples)")
+		n           = fs.Int("n", 1, "client: number of queries to issue over one attested session")
+		concurrency = fs.Int("concurrency", 4, "client: concurrent in-flight queries (capped at -n)")
+		seed        = fs.Int64("seed", 1, "seed for the daemon's simulated engine and sample queries")
+		id          = fs.String("id", "cyclosa-node", "daemon identity announced to clients")
+		peers       = fs.String("peers", "", "comma-separated peer daemon addresses to attest at start-up")
+		iasSecret   = fs.String("ias-secret", "cyclosa-demo", "shared attestation provisioning secret")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,29 +80,57 @@ func run(args []string) error {
 
 	env := newAttestationEnv(*iasSecret)
 	switch *mode {
-	case "relay":
-		return runRelay(env, *listen, *seed, nil)
+	case "node", "relay": // relay kept as a deprecated alias
+		return runNode(env, nodeConfig{
+			listen: *listen,
+			id:     *id,
+			seed:   *seed,
+			peers:  splitPeers(*peers),
+		}, ready, stop)
 	case "client":
-		return runClient(env, *connect, *query, *seed)
+		return runClient(env, *connect, *query, *n, *concurrency, *seed)
 	case "demo":
-		ready := make(chan string, 1)
+		readyCh := make(chan string, 1)
+		stopCh := make(chan struct{})
 		errCh := make(chan error, 1)
-		go func() { errCh <- runRelay(env, "127.0.0.1:0", *seed, ready) }()
+		go func() {
+			errCh <- runNode(env, nodeConfig{listen: "127.0.0.1:0", id: *id, seed: *seed}, readyCh, stopCh)
+		}()
 		select {
-		case addr := <-ready:
-			if err := runClient(env, addr, *query, *seed); err != nil {
+		case addr := <-readyCh:
+			cerr := runClient(env, addr, *query, *n, *concurrency, *seed)
+			close(stopCh)
+			if err := <-errCh; cerr == nil && err != nil {
 				return err
+			}
+			if cerr != nil {
+				return cerr
 			}
 			fmt.Println("demo: success")
 			return nil
 		case err := <-errCh:
 			return err
 		case <-time.After(10 * time.Second):
-			return fmt.Errorf("relay did not start")
+			return fmt.Errorf("daemon did not start")
 		}
 	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+		fs.SetOutput(os.Stderr)
+		fs.Usage()
+		return fmt.Errorf("unknown mode %q (want node|client|demo)", *mode)
 	}
+}
+
+func splitPeers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // attestationEnv reconstructs the shared attestation roots on each side.
@@ -96,124 +151,198 @@ func newAttestationEnv(secret string) *attestationEnv {
 	}
 }
 
-// wireRequest / wireResponse are the TCP message formats.
-type wireRequest struct {
-	Query string `json:"query"`
+// nodeConfig parametrizes one daemon.
+type nodeConfig struct {
+	listen string
+	id     string
+	seed   int64
+	peers  []string
 }
 
-type wireResponse struct {
-	Results []searchengine.Result `json:"results"`
-	Error   string                `json:"error,omitempty"`
-}
-
-func runRelay(env *attestationEnv, addr string, seed int64, ready chan<- string) error {
+// runNode runs the long-running relay daemon until a signal (or stop
+// closes), then drains gracefully.
+func runNode(env *attestationEnv, cfg nodeConfig, ready chan<- string, stop <-chan struct{}) error {
 	encl := env.relay.New(enclave.Config{Name: core.EnclaveName, Version: core.EnclaveVersion})
 	hs, err := securechan.NewHandshaker(encl, env.verifier)
 	if err != nil {
 		return err
 	}
-	uni := queries.NewUniverse(queries.UniverseConfig{Seed: seed})
-	engine := searchengine.New(uni, searchengine.Config{Seed: seed})
+	uni := queries.NewUniverse(queries.UniverseConfig{Seed: cfg.seed})
+	engine := searchengine.New(uni, searchengine.Config{Seed: cfg.seed})
 
-	ln, err := net.Listen("tcp", addr)
+	srv := nettrans.NewServer(nettrans.ServerConfig{
+		ID:      cfg.id,
+		Service: &nettrans.RelayService{Handshaker: hs, Backend: engine, Source: cfg.id},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "node: "+format+"\n", args...)
+		},
+	})
+	addr, err := srv.Listen(cfg.listen)
 	if err != nil {
 		return err
 	}
-	defer ln.Close()
-	fmt.Printf("relay: listening on %s (enclave %s)\n", ln.Addr(), encl.Measurement())
+	fmt.Printf("node %s: listening on %s (enclave %s)\n", cfg.id, addr, encl.Measurement())
 	if ready != nil {
-		ready <- ln.Addr().String()
+		ready <- addr.String()
 	}
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return err
+
+	// Catch shutdown signals before the peer bootstrap: unreachable peers
+	// cost dial timeouts, and a SIGTERM in that window must still reach the
+	// graceful drain below rather than killing the process outright.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	// Bootstrap: dial and attest each configured peer daemon. A peer that
+	// is down is reported but not fatal — it can join later.
+	var peerClients []*nettrans.Client
+	defer func() {
+		for _, pc := range peerClients {
+			pc.Close()
 		}
-		go serveConn(conn, hs, engine)
+	}()
+	for _, peer := range cfg.peers {
+		pc, err := nettrans.DialService(peer, hs, nettrans.ClientConfig{ID: cfg.id})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "node %s: peer %s unreachable: %v\n", cfg.id, peer, err)
+			continue
+		}
+		fmt.Printf("node %s: attested peer %s at %s (enclave %s)\n", cfg.id, pc.ServerID(), peer, pc.PeerMeasurement())
+		peerClients = append(peerClients, pc)
 	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve() }()
+
+	select {
+	case err := <-errCh:
+		srv.Close()
+		return err
+	case s := <-sig:
+		fmt.Printf("node %s: %s, draining\n", cfg.id, s)
+	case <-stop:
+	}
+	return srv.Close()
 }
 
-func serveConn(conn net.Conn, hs *securechan.Handshaker, engine *searchengine.Engine) {
-	defer conn.Close()
-	ch, err := securechan.Accept(conn, hs)
-	if err != nil {
-		fmt.Printf("relay: attestation failed for %s: %v\n", conn.RemoteAddr(), err)
-		return
-	}
-	fmt.Printf("relay: attested channel from %s (peer enclave %s)\n",
-		conn.RemoteAddr(), ch.Session().PeerMeasurement())
-	for {
-		raw, err := ch.Receive()
-		if err != nil {
-			return
-		}
-		var req wireRequest
-		if err := json.Unmarshal(raw, &req); err != nil {
-			return
-		}
-		resp := wireResponse{}
-		results, err := engine.Search(conn.RemoteAddr().String(), req.Query, time.Now())
-		if err != nil {
-			resp.Error = err.Error()
-		} else {
-			resp.Results = results
-		}
-		payload, err := json.Marshal(resp)
-		if err != nil {
-			return
-		}
-		if err := ch.Send(payload); err != nil {
-			return
-		}
-	}
-}
-
-func runClient(env *attestationEnv, addr, query string, seed int64) error {
+// runClient attests the daemon and issues n queries over the single
+// session, concurrency at a time.
+func runClient(env *attestationEnv, addr, query string, n, concurrency int, seed int64) error {
 	encl := env.client.New(enclave.Config{Name: core.EnclaveName, Version: core.EnclaveVersion})
 	hs, err := securechan.NewHandshaker(encl, env.verifier)
 	if err != nil {
 		return err
 	}
-	if query == "" {
-		uni := queries.NewUniverse(queries.UniverseConfig{Seed: seed})
-		query = uni.Topic("travel").Terms[0] + " " + uni.Topic("travel").Terms[1]
-	}
-
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	ch, err := securechan.Dial(conn, hs)
+	c, err := nettrans.DialService(addr, hs, nettrans.ClientConfig{ID: "cyclosa-client"})
 	if err != nil {
 		return fmt.Errorf("attested dial: %w", err)
 	}
-	fmt.Printf("client: attested relay enclave %s\n", ch.Session().PeerMeasurement())
+	defer c.Close()
+	fmt.Printf("client: attested %s (relay enclave %s)\n", c.ServerID(), c.PeerMeasurement())
 
-	payload, err := json.Marshal(wireRequest{Query: query})
-	if err != nil {
-		return err
+	uni := queries.NewUniverse(queries.UniverseConfig{Seed: seed})
+	sample := sampleQueries(uni)
+	queryFor := func(i int) string {
+		if query != "" {
+			return query
+		}
+		return sample[i%len(sample)]
 	}
-	if err := ch.Send(payload); err != nil {
-		return err
+
+	if n <= 1 {
+		results, err := c.Query(queryFor(0))
+		if err != nil {
+			return err
+		}
+		printResults(queryFor(0), results)
+		return nil
 	}
-	raw, err := ch.Receive()
-	if err != nil {
-		return err
+
+	if concurrency < 1 {
+		concurrency = 1
 	}
-	var resp wireResponse
-	if err := json.Unmarshal(raw, &resp); err != nil {
-		return err
+	if concurrency > n {
+		concurrency = n
 	}
-	if resp.Error != "" {
-		return fmt.Errorf("relay error: %s", resp.Error)
+	var (
+		next      atomic.Int64
+		answered  atomic.Int64
+		refused   atomic.Int64
+		firstErr  error
+		errOnce   sync.Once
+		latencies = make([]time.Duration, n)
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				qStart := time.Now()
+				_, err := c.Query(queryFor(i))
+				latencies[i] = time.Since(qStart)
+				switch {
+				case err == nil:
+					answered.Add(1)
+				case isEngineRefusal(err):
+					refused.Add(1) // the engine said no; the transport worked
+				default:
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}()
 	}
-	fmt.Printf("client: %d results for %q\n", len(resp.Results), query)
-	for i, r := range resp.Results {
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return fmt.Errorf("after %d answered: %w", answered.Load(), firstErr)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	fmt.Printf("client: %d queries over one attested session (%d in flight): %d answered, %d engine-refused in %v\n",
+		n, concurrency, answered.Load(), refused.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("client: %.0f req/s, p50 %v, p99 %v\n",
+		float64(n)/elapsed.Seconds(),
+		latencies[n/2].Round(time.Microsecond),
+		latencies[n*99/100].Round(time.Microsecond))
+	return nil
+}
+
+func isEngineRefusal(err error) bool {
+	return errors.Is(err, nettrans.ErrEngineRefused)
+}
+
+// sampleQueries derives a deterministic topical query pool from the
+// universe.
+func sampleQueries(uni *queries.Universe) []string {
+	var out []string
+	for _, name := range uni.TopicNames() {
+		topic := uni.Topic(name)
+		if len(topic.Terms) >= 2 {
+			out = append(out, topic.Terms[0]+" "+topic.Terms[1])
+		}
+		if len(out) >= 32 {
+			break
+		}
+	}
+	if len(out) == 0 {
+		out = []string{"cyclosa probe"}
+	}
+	return out
+}
+
+func printResults(query string, results []searchengine.Result) {
+	fmt.Printf("client: %d results for %q\n", len(results), query)
+	for i, r := range results {
 		if i >= 5 {
 			break
 		}
 		fmt.Printf("  %d. %s (%s)\n", i+1, r.Title, r.URL)
 	}
-	return nil
 }

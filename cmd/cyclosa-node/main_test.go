@@ -1,36 +1,98 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+	"time"
+)
 
-// TestDemoMode runs the full TCP path: relay listener, attested handshake,
-// query, response.
+// startNode runs the daemon in-process and returns its address plus a stop
+// func.
+func startNode(t *testing.T, env *attestationEnv, cfg nodeConfig) string {
+	t.Helper()
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() { errCh <- runNode(env, cfg, ready, stop) }()
+	var stopOnce bool
+	t.Cleanup(func() {
+		if !stopOnce {
+			close(stop)
+			<-errCh
+		}
+	})
+	select {
+	case addr := <-ready:
+		return addr
+	case err := <-errCh:
+		stopOnce = true
+		t.Fatalf("daemon failed to start: %v", err)
+		return ""
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start")
+		return ""
+	}
+}
+
+// TestDemoMode runs the full TCP path: daemon, attested handshake, query,
+// response.
 func TestDemoMode(t *testing.T) {
-	if err := run([]string{"-mode", "demo", "-seed", "3"}); err != nil {
+	if err := run([]string{"-mode", "demo", "-seed", "3"}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestDemoModeMultiplexed runs the demo with many queries over one session.
+func TestDemoModeMultiplexed(t *testing.T) {
+	if err := run([]string{"-mode", "demo", "-seed", "3", "-n", "40", "-concurrency", "8"}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnknownMode: a bad -mode must fail (non-zero exit in main) and name
+// the valid ones.
 func TestUnknownMode(t *testing.T) {
-	if err := run([]string{"-mode", "nope"}); err == nil {
+	err := run([]string{"-mode", "nope"}, nil, nil)
+	if err == nil {
 		t.Fatal("unknown mode should fail")
+	}
+	if !strings.Contains(err.Error(), "unknown mode") || !strings.Contains(err.Error(), "node|client|demo") {
+		t.Fatalf("error should carry usage hint, got: %v", err)
+	}
+}
+
+// TestClientManyQueriesOneSession exercises stream multiplexing against an
+// in-process daemon: -n queries, -concurrency in flight, one attested
+// session.
+func TestClientManyQueriesOneSession(t *testing.T) {
+	env := newAttestationEnv("test-secret")
+	addr := startNode(t, env, nodeConfig{listen: "127.0.0.1:0", id: "test-node", seed: 3})
+	if err := runClient(env, addr, "", 60, 6, 3); err != nil {
+		t.Fatal(err)
 	}
 }
 
 // TestMismatchedIASSecret verifies that a client provisioned with a
-// different attestation secret is rejected by the relay (and vice versa).
+// different attestation secret is rejected by the daemon.
 func TestMismatchedIASSecret(t *testing.T) {
-	envRelay := newAttestationEnv("secret-a")
+	envNode := newAttestationEnv("secret-a")
 	envClient := newAttestationEnv("secret-b")
+	addr := startNode(t, envNode, nodeConfig{listen: "127.0.0.1:0", id: "node-a", seed: 1})
+	if err := runClient(envClient, addr, "query", 1, 1, 1); err == nil {
+		t.Fatal("mismatched attestation roots should fail the handshake")
+	}
+}
 
-	ready := make(chan string, 1)
-	errCh := make(chan error, 1)
-	go func() { errCh <- runRelay(envRelay, "127.0.0.1:0", 1, ready) }()
-	select {
-	case addr := <-ready:
-		if err := runClient(envClient, addr, "query", 1); err == nil {
-			t.Fatal("mismatched attestation roots should fail the handshake")
-		}
-	case err := <-errCh:
+// TestPeerBootstrap: a second daemon bootstraps by attesting the first.
+func TestPeerBootstrap(t *testing.T) {
+	env := newAttestationEnv("peer-secret")
+	addrA := startNode(t, env, nodeConfig{listen: "127.0.0.1:0", id: "node-a", seed: 1})
+	addrB := startNode(t, env, nodeConfig{listen: "127.0.0.1:0", id: "node-b", seed: 1, peers: []string{addrA}})
+	// Both daemons serve clients after the bootstrap.
+	if err := runClient(env, addrA, "travel plans", 1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runClient(env, addrB, "travel plans", 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 }

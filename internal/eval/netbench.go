@@ -1,0 +1,274 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"cyclosa/internal/core"
+	"cyclosa/internal/nettrans"
+	"cyclosa/internal/transport"
+)
+
+// NetBenchOptions configures the network-transport benchmark behind
+// cyclosa-bench's -exp net: the same single-relay forward round trip as the
+// relay experiment, measured over the in-process direct conduit and over
+// loopback TCP through nettrans.TCPConduit, so the cost of the real-socket
+// data plane is tracked PR over PR in BENCH_net.json.
+type NetBenchOptions struct {
+	// Seed drives network randomness.
+	Seed int64
+	// Iterations is the measured round-trip count per phase (default 20000).
+	Iterations int
+	// Warmup iterations establish sessions, connections and scratch buffers
+	// before measurement (default 500).
+	Warmup int
+	// Concurrency is the client count of the multiplexed phase (default 4):
+	// that many nodes forward through one relay over one shared TCP
+	// connection, measuring stream multiplexing rather than serial RTT.
+	Concurrency int
+}
+
+// NetBenchResult is one measurement of the forward path over both conduits.
+type NetBenchResult struct {
+	// Benchmark names the measured path.
+	Benchmark string `json:"benchmark"`
+	// Iterations is the per-phase measured round-trip count.
+	Iterations int `json:"iterations"`
+	// DirectNsPerOp is the in-process (direct conduit) round-trip time.
+	DirectNsPerOp float64 `json:"direct_ns_per_op"`
+	// TCPNsPerOp is the loopback-TCP round-trip time (single client, closed
+	// loop) — the loopback RTT of the frame protocol.
+	TCPNsPerOp float64 `json:"tcp_ns_per_op"`
+	// TCPOpsPerSec is the single-client closed-loop TCP throughput.
+	TCPOpsPerSec float64 `json:"tcp_ops_per_sec"`
+	// OverheadNsPerOp is TCPNsPerOp - DirectNsPerOp: what the real socket,
+	// framing and connection pool add to one exchange.
+	OverheadNsPerOp float64 `json:"overhead_ns_per_op"`
+	// Concurrency is the multiplexed phase's client count.
+	Concurrency int `json:"concurrency"`
+	// TCPConcurrentOpsPerSec is the aggregate throughput of Concurrency
+	// clients multiplexing over the shared connection pool.
+	TCPConcurrentOpsPerSec float64 `json:"tcp_concurrent_ops_per_sec"`
+	// GeneratedAt stamps the measurement (RFC 3339).
+	GeneratedAt string `json:"generated_at"`
+}
+
+// RunNetBench measures the forward round trip over the direct conduit and
+// over loopback TCP (serial and multiplexed).
+func RunNetBench(opts NetBenchOptions) (*NetBenchResult, error) {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 20000
+	}
+	if opts.Warmup <= 0 {
+		opts.Warmup = 500
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 4
+	}
+	const query = "net bench probe"
+
+	// Phase 1: in-process direct conduit (the baseline).
+	directNs, err := measureSerial(core.NetworkOptions{
+		Nodes:   2,
+		Seed:    opts.Seed,
+		Backend: core.NullBackend{},
+	}, nil, query, opts.Warmup, opts.Iterations)
+	if err != nil {
+		return nil, fmt.Errorf("direct phase: %w", err)
+	}
+
+	// Phase 2: the same exchange over loopback TCP, serial.
+	hook, cleanup, hookErr := withTCPStack()
+	tcpNs, err := measureSerial(core.NetworkOptions{
+		Nodes:   2,
+		Seed:    opts.Seed,
+		Backend: core.NullBackend{},
+	}, hook, query, opts.Warmup, opts.Iterations)
+	cleanup()
+	if err == nil {
+		err = hookErr()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tcp phase: %w", err)
+	}
+
+	// Phase 3: Concurrency clients multiplexing over the shared pool.
+	concOps, err := measureConcurrent(opts, query)
+	if err != nil {
+		return nil, fmt.Errorf("tcp concurrent phase: %w", err)
+	}
+
+	return &NetBenchResult{
+		Benchmark:              "ForwardRoundTrip direct vs loopback TCP (NullBackend)",
+		Iterations:             opts.Iterations,
+		DirectNsPerOp:          directNs,
+		TCPNsPerOp:             tcpNs,
+		TCPOpsPerSec:           1e9 / tcpNs,
+		OverheadNsPerOp:        tcpNs - directNs,
+		Concurrency:            opts.Concurrency,
+		TCPConcurrentOpsPerSec: concOps,
+		GeneratedAt:            time.Now().UTC().Format(time.RFC3339),
+	}, nil
+}
+
+// tcpStack is the loopback data plane of one benchmark phase.
+type tcpStack struct {
+	server *nettrans.Server
+	tcp    *nettrans.TCPConduit
+}
+
+func (s *tcpStack) close() {
+	if s.tcp != nil {
+		s.tcp.Close()
+	}
+	if s.server != nil {
+		s.server.Close()
+	}
+}
+
+// newTCPStack starts a loopback server over the direct conduit and a
+// conduit resolving every relay to it.
+func newTCPStack(direct transport.Conduit) (*tcpStack, error) {
+	srv := nettrans.NewServer(nettrans.ServerConfig{ID: "bench-relay-host", Handler: direct})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	addr := srv.Addr().String()
+	tcp := nettrans.NewTCPConduit(nettrans.ConduitConfig{
+		Resolve:    func(string) (string, bool) { return addr, true },
+		PoolConfig: nettrans.PoolConfig{ID: "bench-pool", RequestTimeout: 30 * time.Second},
+	})
+	return &tcpStack{server: srv, tcp: tcp}, nil
+}
+
+// withTCPStack returns a NetworkOptions.Conduit hook that builds the
+// loopback TCP stack over the network's direct conduit, plus the matching
+// teardown and an error probe. NewNetwork's hook has no error path, so a
+// failed listen is parked in the probe — callers MUST check it, or a bench
+// phase would silently measure the in-process path and label it TCP.
+func withTCPStack() (hook func(transport.Conduit) transport.Conduit, cleanup func(), hookErr func() error) {
+	var s *tcpStack
+	var err error
+	hook = func(direct transport.Conduit) transport.Conduit {
+		var stack *tcpStack
+		stack, err = newTCPStack(direct)
+		if err != nil {
+			return direct
+		}
+		s = stack
+		return stack.tcp
+	}
+	cleanup = func() {
+		if s != nil {
+			s.close()
+		}
+	}
+	hookErr = func() error { return err }
+	return hook, cleanup, hookErr
+}
+
+// measureSerial times iterations closed-loop round trips on a fresh
+// network; hook (when non-nil) installs the transport under test.
+func measureSerial(netOpts core.NetworkOptions, hook func(transport.Conduit) transport.Conduit, query string, warmup, iterations int) (float64, error) {
+	netOpts.Conduit = hook
+	net, err := core.NewNetwork(netOpts)
+	if err != nil {
+		return 0, err
+	}
+	ids := net.NodeIDs()
+	client, relay := net.Node(ids[0]), ids[1]
+	now := time.Unix(0, 0)
+	for i := 0; i < warmup; i++ {
+		if err := net.RelayRoundTrip(client, relay, query, now); err != nil {
+			return 0, fmt.Errorf("warmup: %w", err)
+		}
+	}
+	start := time.Now()
+	for i := 0; i < iterations; i++ {
+		if err := net.RelayRoundTrip(client, relay, query, now); err != nil {
+			return 0, fmt.Errorf("iteration %d: %w", i, err)
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iterations), nil
+}
+
+// measureConcurrent times opts.Concurrency clients multiplexing forwards to
+// one relay over the shared TCP pool, returning aggregate ops/s.
+func measureConcurrent(opts NetBenchOptions, query string) (float64, error) {
+	hook, cleanup, hookErr := withTCPStack()
+	defer cleanup()
+	net, err := core.NewNetwork(core.NetworkOptions{
+		Nodes:   opts.Concurrency + 1,
+		Seed:    opts.Seed,
+		Backend: core.NullBackend{},
+		Conduit: hook,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := hookErr(); err != nil {
+		return 0, err
+	}
+	ids := net.NodeIDs()
+	relay := ids[len(ids)-1]
+	now := time.Unix(0, 0)
+	perClient := opts.Iterations / opts.Concurrency
+	if perClient == 0 {
+		perClient = 1
+	}
+	warmPer := opts.Warmup/opts.Concurrency + 1
+
+	run := func(measured bool) error {
+		n := warmPer
+		if measured {
+			n = perClient
+		}
+		var wg sync.WaitGroup
+		errCh := make(chan error, opts.Concurrency)
+		for c := 0; c < opts.Concurrency; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				client := net.Node(ids[c])
+				for i := 0; i < n; i++ {
+					if err := net.RelayRoundTrip(client, relay, query, now); err != nil {
+						errCh <- fmt.Errorf("client %d iteration %d: %w", c, i, err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errCh)
+		return <-errCh
+	}
+	if err := run(false); err != nil {
+		return 0, fmt.Errorf("warmup: %w", err)
+	}
+	start := time.Now()
+	if err := run(true); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	return float64(perClient*opts.Concurrency) / elapsed.Seconds(), nil
+}
+
+// WriteJSON writes the result as indented JSON to path.
+func (r *NetBenchResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// String renders the result for the terminal.
+func (r *NetBenchResult) String() string {
+	return fmt.Sprintf(
+		"Network transport (%s):\n  %d iterations per phase\n  direct   %8.0f ns/op\n  loopback %8.0f ns/op  (%.0f req/s single client, +%.0f ns TCP overhead)\n  %d clients multiplexed: %.0f req/s aggregate",
+		r.Benchmark, r.Iterations, r.DirectNsPerOp, r.TCPNsPerOp, r.TCPOpsPerSec,
+		r.OverheadNsPerOp, r.Concurrency, r.TCPConcurrentOpsPerSec)
+}

@@ -1,0 +1,42 @@
+package eval
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunNetBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time network benchmark")
+	}
+	r, err := RunNetBench(NetBenchOptions{Seed: 1, Iterations: 300, Warmup: 50, Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DirectNsPerOp <= 0 || r.TCPNsPerOp <= 0 || r.TCPOpsPerSec <= 0 || r.TCPConcurrentOpsPerSec <= 0 {
+		t.Fatalf("non-positive measurement: %+v", r)
+	}
+	if r.TCPNsPerOp <= r.DirectNsPerOp {
+		// Loopback TCP cannot beat the in-process call; if it does the TCP
+		// phase silently fell back to the direct conduit.
+		t.Fatalf("TCP (%.0f ns) not slower than direct (%.0f ns): transport not engaged", r.TCPNsPerOp, r.DirectNsPerOp)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_net.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back NetBenchResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TCPNsPerOp != r.TCPNsPerOp || back.Benchmark == "" {
+		t.Fatalf("JSON round trip mangled the result: %+v", back)
+	}
+}

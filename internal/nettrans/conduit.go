@@ -1,0 +1,149 @@
+package nettrans
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cyclosa/internal/core"
+	"cyclosa/internal/transport"
+)
+
+// ConduitConfig configures a TCPConduit.
+type ConduitConfig struct {
+	// Resolve maps a relay node ID to its server's TCP address. An
+	// unresolvable relay is reported unavailable. Required.
+	Resolve func(nodeID string) (addr string, ok bool)
+	// Pool carries the connections; when nil a private pool with PoolConfig
+	// defaults is created (and owned — Close tears it down).
+	Pool *Pool
+	// PoolConfig configures the private pool when Pool is nil.
+	PoolConfig PoolConfig
+}
+
+// TCPConduit delivers forward records over real TCP connections: it
+// implements transport.Conduit, so a core.Network configured with it runs
+// the unchanged protocol over sockets. Many in-flight exchanges to the same
+// peer multiplex over one pooled connection via frame stream IDs.
+//
+// Ownership contract (see transport.Conduit): the request record is copied
+// to the socket during Deliver and never retained; the response record is
+// copied off the wire into a per-pair buffer, which stays untouched until
+// the same pair's next delivery.
+type TCPConduit struct {
+	pool      *Pool
+	ownsPool  bool
+	resolve   func(string) (string, bool)
+	pairMu    sync.RWMutex
+	pairBufs  map[pairKey]*pairBuf
+	closeOnce sync.Once
+}
+
+type pairKey struct{ from, to string }
+
+// pairBuf holds a pair's response scratch. The protocol serializes a pair's
+// exchanges (the record sequence numbers leave no other order), so the
+// buffer needs no lock of its own.
+type pairBuf struct{ buf []byte }
+
+var _ transport.Conduit = (*TCPConduit)(nil)
+
+// NewTCPConduit builds a conduit over the given resolver.
+func NewTCPConduit(cfg ConduitConfig) *TCPConduit {
+	if cfg.Resolve == nil {
+		panic("nettrans: ConduitConfig.Resolve is required")
+	}
+	pool := cfg.Pool
+	owns := false
+	if pool == nil {
+		pool = NewPool(cfg.PoolConfig)
+		owns = true
+	}
+	return &TCPConduit{
+		pool:     pool,
+		ownsPool: owns,
+		resolve:  cfg.Resolve,
+		pairBufs: make(map[pairKey]*pairBuf),
+	}
+}
+
+// Deliver implements transport.Conduit: one data frame out, one resp (or
+// err) frame back. Transport-level failures — unresolvable peer, dial
+// failure, backoff window, saturated pipe, timeout, connection cut — are
+// reported as core.ErrRelayUnavailable so the retry layer blacklists the
+// peer exactly as it would an unresponsive simulated one; a served err
+// frame with a non-unavailable code surfaces as a plain error, which the
+// protocol classifies as relay misbehavior.
+func (t *TCPConduit) Deliver(from, to string, payload []byte, now time.Time) ([]byte, time.Duration, error) {
+	addr, ok := t.resolve(to)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: nettrans: no address for relay %s", core.ErrRelayUnavailable, to)
+	}
+	meta := getFrame()
+	*meta = appendDataMeta((*meta)[:0], now.UnixNano(), from, to, len(payload))
+	h, buf, err := t.pool.RoundTrip(addr, frameData, *meta, payload)
+	putFrame(meta)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %w", core.ErrRelayUnavailable, err)
+	}
+	defer putFrame(buf)
+
+	switch h.typ {
+	case frameResp:
+		injectedNano, record, err := decodeRespPayload(*buf)
+		if err != nil {
+			return nil, 0, fmt.Errorf("nettrans: bad resp frame from %s: %w", to, err)
+		}
+		pb := t.pair(from, to)
+		pb.buf = append(pb.buf[:0], record...)
+		return pb.buf, time.Duration(injectedNano), nil
+	case frameErr:
+		code, msg, err := decodeErrPayload(*buf)
+		if err != nil {
+			return nil, 0, fmt.Errorf("nettrans: bad err frame from %s: %w", to, err)
+		}
+		if code == errCodeUnavailable {
+			return nil, 0, fmt.Errorf("%w: nettrans: relay %s: %s", core.ErrRelayUnavailable, to, msg)
+		}
+		return nil, 0, fmt.Errorf("nettrans: relay %s rejected exchange: %s", to, msg)
+	default:
+		return nil, 0, fmt.Errorf("nettrans: unexpected frame type %d from %s", h.typ, to)
+	}
+}
+
+// pair returns (creating on first use) the response buffer of (from, to).
+func (t *TCPConduit) pair(from, to string) *pairBuf {
+	key := pairKey{from, to}
+	t.pairMu.RLock()
+	pb, ok := t.pairBufs[key]
+	t.pairMu.RUnlock()
+	if ok {
+		return pb
+	}
+	t.pairMu.Lock()
+	defer t.pairMu.Unlock()
+	if pb, ok = t.pairBufs[key]; !ok {
+		pb = &pairBuf{}
+		t.pairBufs[key] = pb
+	}
+	return pb
+}
+
+// Close releases the conduit's pool (only when it owns it).
+func (t *TCPConduit) Close() error {
+	var err error
+	t.closeOnce.Do(func() {
+		if t.ownsPool {
+			err = t.pool.Close()
+		}
+	})
+	return err
+}
+
+// StaticResolver builds a Resolve func from a fixed nodeID -> address map.
+func StaticResolver(addrs map[string]string) func(string) (string, bool) {
+	return func(id string) (string, bool) {
+		a, ok := addrs[id]
+		return a, ok
+	}
+}

@@ -1,0 +1,183 @@
+package nettrans
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"cyclosa/internal/securechan"
+)
+
+// defaultWriteTimeout bounds one frame write so a stalled peer cannot wedge
+// a writer goroutine (and the locks it holds) forever.
+const defaultWriteTimeout = 30 * time.Second
+
+// frameConn frames a net.Conn: one writer-side mutex serializing frame
+// writes, one reader-side loop (single goroutine by construction) consuming
+// frames into pooled buffers.
+type frameConn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	wmu          chan struct{} // 1-slot semaphore (lockable across encrypt+write)
+	bw           *bufio.Writer
+	whdr         [headerSize]byte // guarded by wmu
+	writeTimeout time.Duration
+
+	rhdr [headerSize]byte // reader-goroutine owned
+	// rDeadlineArmed remembers an absolute read deadline is set (deadlines
+	// persist until changed), so a deadline-free read can disarm it instead
+	// of dying of a stale timeout mid-session. Reader-goroutine owned.
+	rDeadlineArmed bool
+	maxFrame       int
+}
+
+func newFrameConn(c net.Conn, maxFrame int) *frameConn {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	fc := &frameConn{
+		c:            c,
+		br:           bufio.NewReaderSize(c, 32<<10),
+		bw:           bufio.NewWriterSize(c, 32<<10),
+		wmu:          make(chan struct{}, 1),
+		writeTimeout: defaultWriteTimeout,
+		maxFrame:     maxFrame,
+	}
+	return fc
+}
+
+func (fc *frameConn) lockWrite()   { fc.wmu <- struct{}{} }
+func (fc *frameConn) unlockWrite() { <-fc.wmu }
+
+// writeFrame writes one frame whose payload is the concatenation of parts.
+// Parts are copied to the socket during the call and never retained.
+func (fc *frameConn) writeFrame(typ frameType, stream uint64, parts ...[]byte) error {
+	fc.lockWrite()
+	defer fc.unlockWrite()
+	return fc.writeFrameLocked(typ, stream, parts...)
+}
+
+// writeFrameLocked is writeFrame for callers already holding the write
+// lock (the service path encrypts and writes under one acquisition so
+// record encryption order equals socket write order).
+func (fc *frameConn) writeFrameLocked(typ frameType, stream uint64, parts ...[]byte) error {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total > fc.maxFrame {
+		return fmt.Errorf("%w: %d > %d", ErrFrameOversize, total, fc.maxFrame)
+	}
+	putHeader(&fc.whdr, typ, stream, total)
+	if fc.writeTimeout > 0 {
+		if err := fc.c.SetWriteDeadline(time.Now().Add(fc.writeTimeout)); err != nil {
+			return err
+		}
+	}
+	if _, err := fc.bw.Write(fc.whdr[:]); err != nil {
+		return err
+	}
+	for _, p := range parts {
+		if _, err := fc.bw.Write(p); err != nil {
+			return err
+		}
+	}
+	return fc.bw.Flush()
+}
+
+// writeErrFrame reports a failed exchange on a stream.
+func (fc *frameConn) writeErrFrame(stream uint64, code byte, msg string) error {
+	buf := getFrame()
+	*buf = appendErrPayload((*buf)[:0], code, msg)
+	err := fc.writeFrame(frameErr, stream, *buf)
+	putFrame(buf)
+	return err
+}
+
+// writeSealedFrame encrypts plaintext on sess and writes it as one frame,
+// holding the write lock across both so the record sequence order on the
+// session equals the frame order on the socket — the in-order delivery the
+// channel's counter nonces require, even with many streams in flight.
+func (fc *frameConn) writeSealedFrame(sess *securechan.Session, typ frameType, stream uint64, plaintext []byte) error {
+	fc.lockWrite()
+	defer fc.unlockWrite()
+	buf := getFrame()
+	record, err := sess.EncryptAppend((*buf)[:0], plaintext)
+	if err != nil {
+		putFrame(buf)
+		return err
+	}
+	*buf = record
+	err = fc.writeFrameLocked(typ, stream, record)
+	putFrame(buf)
+	return err
+}
+
+// readFrame reads one frame into a pooled buffer. The caller owns the
+// returned buffer and must putFrame it. idle > 0 arms a read deadline
+// covering the whole frame; idle <= 0 disarms any deadline a previous read
+// (the dial/hello/attest phase) left behind.
+func (fc *frameConn) readFrame(idle time.Duration) (header, *[]byte, error) {
+	if idle > 0 {
+		if err := fc.c.SetReadDeadline(time.Now().Add(idle)); err != nil {
+			return header{}, nil, err
+		}
+		fc.rDeadlineArmed = true
+	} else if fc.rDeadlineArmed {
+		if err := fc.c.SetReadDeadline(time.Time{}); err != nil {
+			return header{}, nil, err
+		}
+		fc.rDeadlineArmed = false
+	}
+	if _, err := io.ReadFull(fc.br, fc.rhdr[:]); err != nil {
+		return header{}, nil, err
+	}
+	h, err := parseHeader(&fc.rhdr, fc.maxFrame)
+	if err != nil {
+		return header{}, nil, err
+	}
+	buf := getFrame()
+	if cap(*buf) < int(h.length) {
+		*buf = make([]byte, h.length)
+	} else {
+		*buf = (*buf)[:h.length]
+	}
+	if _, err := io.ReadFull(fc.br, *buf); err != nil {
+		putFrame(buf)
+		return header{}, nil, err
+	}
+	return h, buf, nil
+}
+
+// sendHello writes this side's connection preamble.
+func (fc *frameConn) sendHello(id string) error {
+	buf := getFrame()
+	*buf = appendHelloPayload((*buf)[:0], id)
+	err := fc.writeFrame(frameHello, 0, *buf)
+	putFrame(buf)
+	return err
+}
+
+// expectHello reads the peer's preamble and returns its announced identity.
+func (fc *frameConn) expectHello(timeout time.Duration) (string, error) {
+	h, buf, err := fc.readFrame(timeout)
+	if err != nil {
+		return "", err
+	}
+	defer putFrame(buf)
+	if h.typ != frameHello {
+		return "", fmt.Errorf("nettrans: expected hello, got frame type %d", h.typ)
+	}
+	id, err := decodeHelloPayload(*buf)
+	if err != nil {
+		return "", fmt.Errorf("nettrans: bad hello: %w", err)
+	}
+	return string(id), nil
+}
+
+func (fc *frameConn) Close() error {
+	return fc.c.Close()
+}

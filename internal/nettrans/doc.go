@@ -1,0 +1,68 @@
+// Package nettrans is the real-socket data plane of the reproduction: a
+// production-grade TCP transport that slots under the protocol through the
+// transport.Conduit seam, so core.Network, the workload engine and the
+// chaos/invariant machinery all run unchanged over real connections.
+//
+// # Frame protocol (version 1)
+//
+// Every message on a connection is one frame: a fixed 16-byte header
+// followed by a length-prefixed payload.
+//
+//	header := magic(2B 0xC7 0x5A) ver(1B) type(1B) streamID(8B) length(4B)
+//
+// streamID multiplexes many in-flight exchanges over one connection: each
+// request frame carries a fresh stream identifier and the matching response
+// frame echoes it, so a client never has to serialize round trips on the
+// socket. length is the payload size; frames longer than the limit
+// (DefaultMaxFrame, covering the 1 MiB encrypted-record bound plus envelope
+// slack) are rejected before any allocation based on them, as are frames
+// with a bad magic, an unknown version or an unknown type. Frame payloads
+// use the internal/wire primitives (uvarint length-prefixed fields,
+// big-endian fixed fields), the same codec vocabulary as the enclave gate
+// frames.
+//
+// Frame types:
+//
+//	hello  := proto(1B) id(str)              — connection preamble, both ways
+//	data   := nowNano(8B) from(str) to(str) record(bytes)   — conduit request
+//	resp   := injectedNano(8B) record(bytes)                — conduit response
+//	err    := code(1B) msg(str)                             — failed exchange
+//	attest := handshake offer (JSON)         — service session establishment
+//	query  := encrypted record               — service query (session AEAD)
+//	answer := encrypted record               — service answer (session AEAD)
+//	goaway := (empty)                        — server draining, stop opening streams
+//
+// # Components
+//
+// Server owns the listen socket: per-connection read loops with idle
+// deadlines and frame limits, bounded in-flight dispatch (a semaphore; a
+// flooding client blocks on its own connection rather than exhausting the
+// process) and graceful drain on Close (stop accepting, send goaway, let
+// in-flight exchanges finish, then close).
+//
+// Pool owns the client side: one entry per peer address, dial-on-demand,
+// reconnection with exponential backoff (a peer in backoff fails fast
+// instead of re-dialing on every request), idle reaping, and bounded
+// pending-stream backpressure per connection.
+//
+// TCPConduit implements transport.Conduit over a Pool: Deliver writes the
+// encrypted record as a data frame (copied to the socket during the call,
+// never retained) and copies the response record into a per-pair buffer, so
+// the returned slice stays valid until the next delivery between the same
+// pair — exactly the ownership contract documented on transport.Conduit.
+// Because the conduit seam composes, internal/simnet can wrap a TCPConduit
+// (core.NetworkOptions.Conduit: first the TCP layer, then sim.Wrap) and run
+// the whole chaos catalog plus invariant checkers over real sockets; see
+// simnet.ChaosOptions.Transport.
+//
+// RelayService and Client form the attested query service used by the
+// cyclosa-node daemon: an attested securechan session is established over
+// attest frames, then many concurrent queries multiplex over the single
+// session as query/answer frames. Record encryption order equals socket
+// write order (both happen under the connection write lock) and decryption
+// happens in the reader goroutine in arrival order, which is what the
+// channel's strict record sequence numbers require; concurrency lives
+// between the two, in the engine dispatch. Connection teardown closes the
+// session half on each side, so a dropped TCP connection never leaks nonce
+// state into a reconnect: the next connection re-attests from scratch.
+package nettrans

@@ -1,0 +1,242 @@
+package nettrans
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cyclosa/internal/wire"
+)
+
+// ProtoVersion is the frame protocol version; bump on any layout change.
+// A connection speaking an unknown version is rejected at the first frame.
+const ProtoVersion = 1
+
+// Frame header layout: magic(2B) ver(1B) type(1B) streamID(8B) length(4B).
+const (
+	frameMagic0 = 0xC7
+	frameMagic1 = 0x5A
+	headerSize  = 16
+)
+
+// frameType tags a frame's payload semantics.
+type frameType uint8
+
+const (
+	frameHello  frameType = 1
+	frameData   frameType = 2
+	frameResp   frameType = 3
+	frameErr    frameType = 4
+	frameAttest frameType = 5
+	frameQuery  frameType = 6
+	frameAnswer frameType = 7
+	frameGoaway frameType = 8
+
+	// frameTypeMax bounds the known types; anything above is rejected.
+	frameTypeMax = frameGoaway
+)
+
+// maxRecordLen bounds the encrypted record carried inside a data/resp/query/
+// answer frame — the securechan record bound.
+const maxRecordLen = 1 << 20
+
+// DefaultMaxFrame is the default frame payload limit: the 1 MiB encrypted
+// record bound plus envelope slack (identifiers, timestamps, prefixes).
+const DefaultMaxFrame = maxRecordLen + 4096
+
+// maxNodeIDLen bounds a node identifier inside a frame.
+const maxNodeIDLen = 1 << 10
+
+// maxErrMsgLen bounds an error message inside an err frame.
+const maxErrMsgLen = 4 << 10
+
+// maxHandshakeLen bounds an attestation handshake message.
+const maxHandshakeLen = 64 << 10
+
+// Frame protocol errors.
+var (
+	ErrBadMagic      = errors.New("nettrans: bad frame magic")
+	ErrFrameVersion  = errors.New("nettrans: unknown frame protocol version")
+	ErrFrameOversize = errors.New("nettrans: frame length exceeds limit")
+	ErrFrameType     = errors.New("nettrans: unknown frame type")
+)
+
+// header is a decoded frame header.
+type header struct {
+	typ    frameType
+	stream uint64
+	length uint32
+}
+
+// putHeader encodes a frame header into dst.
+func putHeader(dst *[headerSize]byte, typ frameType, stream uint64, length int) {
+	dst[0] = frameMagic0
+	dst[1] = frameMagic1
+	dst[2] = ProtoVersion
+	dst[3] = byte(typ)
+	binary.BigEndian.PutUint64(dst[4:12], stream)
+	binary.BigEndian.PutUint32(dst[12:16], uint32(length))
+}
+
+// parseHeader decodes and validates a frame header. The length bound is
+// enforced here, before any allocation sized by the untrusted field.
+func parseHeader(src *[headerSize]byte, maxFrame int) (header, error) {
+	if src[0] != frameMagic0 || src[1] != frameMagic1 {
+		return header{}, ErrBadMagic
+	}
+	if src[2] != ProtoVersion {
+		return header{}, fmt.Errorf("%w: %d", ErrFrameVersion, src[2])
+	}
+	typ := frameType(src[3])
+	if typ == 0 || typ > frameTypeMax {
+		return header{}, fmt.Errorf("%w: %d", ErrFrameType, src[3])
+	}
+	h := header{
+		typ:    typ,
+		stream: binary.BigEndian.Uint64(src[4:12]),
+		length: binary.BigEndian.Uint32(src[12:16]),
+	}
+	if int64(h.length) > int64(maxFrame) {
+		return header{}, fmt.Errorf("%w: %d > %d", ErrFrameOversize, h.length, maxFrame)
+	}
+	return h, nil
+}
+
+// framePool recycles frame payload buffers (read buffers, encode scratch).
+// Same ownership rule as core's bufpool: a buffer obtained with getFrame is
+// owned by the holder until putFrame; slices derived from it die with it.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
+func getFrame() *[]byte {
+	return framePool.Get().(*[]byte)
+}
+
+func putFrame(b *[]byte) {
+	framePool.Put(b)
+}
+
+// --- payload codecs ---------------------------------------------------------
+
+// appendHelloPayload encodes a hello frame payload: proto(1B) id(str).
+func appendHelloPayload(dst []byte, id string) []byte {
+	dst = append(dst, ProtoVersion)
+	return wire.AppendString(dst, id)
+}
+
+// decodeHelloPayload decodes a hello frame payload. The returned id aliases
+// data.
+func decodeHelloPayload(data []byte) (id []byte, err error) {
+	if len(data) < 1 {
+		return nil, wire.ErrTruncated
+	}
+	if data[0] != ProtoVersion {
+		return nil, fmt.Errorf("%w: hello proto %d", ErrFrameVersion, data[0])
+	}
+	id, data, err = wire.ConsumeBytes(data[1:], maxNodeIDLen)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("nettrans: trailing bytes after hello")
+	}
+	return id, nil
+}
+
+// appendDataMeta encodes the data frame fields that precede the record:
+// nowNano(8B) from(str) to(str) recordLen(uvarint). The record bytes follow
+// verbatim on the wire, so the hot path never copies them into the meta
+// buffer.
+func appendDataMeta(dst []byte, nowNano int64, from, to string, recordLen int) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(nowNano))
+	dst = wire.AppendString(dst, from)
+	dst = wire.AppendString(dst, to)
+	return binary.AppendUvarint(dst, uint64(recordLen))
+}
+
+// decodeDataPayload decodes a data frame payload. from, to and record alias
+// data.
+func decodeDataPayload(data []byte) (nowNano int64, from, to, record []byte, err error) {
+	now, data, err := wire.ConsumeUint64(data)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	from, data, err = wire.ConsumeBytes(data, maxNodeIDLen)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	to, data, err = wire.ConsumeBytes(data, maxNodeIDLen)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	record, data, err = wire.ConsumeBytes(data, maxRecordLen)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	if len(data) != 0 {
+		return 0, nil, nil, nil, errors.New("nettrans: trailing bytes after data frame")
+	}
+	return int64(now), from, to, record, nil
+}
+
+// appendRespMeta encodes the resp frame fields that precede the record:
+// injectedNano(8B) recordLen(uvarint).
+func appendRespMeta(dst []byte, injectedNano int64, recordLen int) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(injectedNano))
+	return binary.AppendUvarint(dst, uint64(recordLen))
+}
+
+// decodeRespPayload decodes a resp frame payload. record aliases data.
+func decodeRespPayload(data []byte) (injectedNano int64, record []byte, err error) {
+	inj, data, err := wire.ConsumeUint64(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	record, data, err = wire.ConsumeBytes(data, maxRecordLen)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) != 0 {
+		return 0, nil, errors.New("nettrans: trailing bytes after resp frame")
+	}
+	return int64(inj), record, nil
+}
+
+// Err frame failure codes. Unavailable maps to core.ErrRelayUnavailable at
+// the conduit boundary (retry with a replacement relay, timeout charged);
+// everything else is classified as relay misbehavior (blacklist, no
+// timeout).
+const (
+	errCodeUnavailable = 1
+	errCodeRejected    = 2
+)
+
+// appendErrPayload encodes an err frame payload: code(1B) msg(str).
+func appendErrPayload(dst []byte, code byte, msg string) []byte {
+	if len(msg) > maxErrMsgLen {
+		msg = msg[:maxErrMsgLen]
+	}
+	dst = append(dst, code)
+	return wire.AppendString(dst, msg)
+}
+
+// decodeErrPayload decodes an err frame payload. msg aliases data.
+func decodeErrPayload(data []byte) (code byte, msg []byte, err error) {
+	if len(data) < 1 {
+		return 0, nil, wire.ErrTruncated
+	}
+	code = data[0]
+	msg, data, err = wire.ConsumeBytes(data[1:], maxErrMsgLen)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) != 0 {
+		return 0, nil, errors.New("nettrans: trailing bytes after err frame")
+	}
+	return code, msg, nil
+}

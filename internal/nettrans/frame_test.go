@@ -1,0 +1,248 @@
+package nettrans
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"cyclosa/internal/wire"
+)
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	var hdr [headerSize]byte
+	putHeader(&hdr, frameData, 0xDEADBEEFCAFE, 12345)
+	h, err := parseHeader(&hdr, DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.typ != frameData || h.stream != 0xDEADBEEFCAFE || h.length != 12345 {
+		t.Fatalf("round trip mangled header: %+v", h)
+	}
+}
+
+func TestFrameHeaderRejectsHostileInput(t *testing.T) {
+	valid := func() [headerSize]byte {
+		var hdr [headerSize]byte
+		putHeader(&hdr, frameData, 7, 64)
+		return hdr
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		hdr := valid()
+		hdr[0] = 'G' // a stray HTTP client, say
+		if _, err := parseHeader(&hdr, DefaultMaxFrame); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("unknown version", func(t *testing.T) {
+		hdr := valid()
+		hdr[2] = ProtoVersion + 1
+		if _, err := parseHeader(&hdr, DefaultMaxFrame); !errors.Is(err, ErrFrameVersion) {
+			t.Fatalf("err = %v, want ErrFrameVersion", err)
+		}
+	})
+	t.Run("unknown type", func(t *testing.T) {
+		hdr := valid()
+		hdr[3] = byte(frameTypeMax) + 1
+		if _, err := parseHeader(&hdr, DefaultMaxFrame); !errors.Is(err, ErrFrameType) {
+			t.Fatalf("err = %v, want ErrFrameType", err)
+		}
+		hdr[3] = 0
+		if _, err := parseHeader(&hdr, DefaultMaxFrame); !errors.Is(err, ErrFrameType) {
+			t.Fatalf("zero type err = %v, want ErrFrameType", err)
+		}
+	})
+	t.Run("oversized length", func(t *testing.T) {
+		hdr := valid()
+		binary.BigEndian.PutUint32(hdr[12:16], uint32(DefaultMaxFrame+1))
+		if _, err := parseHeader(&hdr, DefaultMaxFrame); !errors.Is(err, ErrFrameOversize) {
+			t.Fatalf("err = %v, want ErrFrameOversize", err)
+		}
+	})
+}
+
+func TestPayloadCodecsRoundTrip(t *testing.T) {
+	hello := appendHelloPayload(nil, "node-7")
+	id, err := decodeHelloPayload(hello)
+	if err != nil || string(id) != "node-7" {
+		t.Fatalf("hello round trip: id=%q err=%v", id, err)
+	}
+
+	record := []byte("sealed-record-bytes")
+	data := appendDataMeta(nil, 42, "client-1", "relay-2", len(record))
+	data = append(data, record...)
+	nowNano, from, to, rec, err := decodeDataPayload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nowNano != 42 || string(from) != "client-1" || string(to) != "relay-2" || !bytes.Equal(rec, record) {
+		t.Fatalf("data round trip mangled: now=%d from=%q to=%q rec=%q", nowNano, from, to, rec)
+	}
+
+	resp := appendRespMeta(nil, 1234, len(record))
+	resp = append(resp, record...)
+	inj, rec, err := decodeRespPayload(resp)
+	if err != nil || inj != 1234 || !bytes.Equal(rec, record) {
+		t.Fatalf("resp round trip: inj=%d rec=%q err=%v", inj, rec, err)
+	}
+
+	ep := appendErrPayload(nil, errCodeUnavailable, "gone fishing")
+	code, msg, err := decodeErrPayload(ep)
+	if err != nil || code != errCodeUnavailable || string(msg) != "gone fishing" {
+		t.Fatalf("err round trip: code=%d msg=%q err=%v", code, msg, err)
+	}
+}
+
+// TestPayloadCodecsRejectTruncation feeds every proper prefix of each valid
+// payload to its decoder: all must fail cleanly, none may panic.
+func TestPayloadCodecsRejectTruncation(t *testing.T) {
+	record := []byte("sealed-record-bytes")
+	data := appendDataMeta(nil, 42, "client-1", "relay-2", len(record))
+	data = append(data, record...)
+	for n := 0; n < len(data); n++ {
+		if _, _, _, _, err := decodeDataPayload(data[:n]); err == nil {
+			t.Fatalf("truncated data frame (%d/%d bytes) accepted", n, len(data))
+		}
+	}
+
+	resp := appendRespMeta(nil, 9, len(record))
+	resp = append(resp, record...)
+	for n := 0; n < len(resp); n++ {
+		if _, _, err := decodeRespPayload(resp[:n]); err == nil {
+			t.Fatalf("truncated resp frame (%d/%d bytes) accepted", n, len(resp))
+		}
+	}
+
+	for n := 0; n < 2; n++ {
+		if _, _, err := decodeErrPayload(appendErrPayload(nil, 1, "x")[:n]); err == nil {
+			t.Fatalf("truncated err frame (%d bytes) accepted", n)
+		}
+	}
+}
+
+func TestPayloadCodecsRejectTrailingGarbage(t *testing.T) {
+	record := []byte("rec")
+	data := appendDataMeta(nil, 1, "a", "b", len(record))
+	data = append(data, record...)
+	data = append(data, 0xFF)
+	if _, _, _, _, err := decodeDataPayload(data); err == nil {
+		t.Fatal("data frame with trailing garbage accepted")
+	}
+
+	resp := appendRespMeta(nil, 1, len(record))
+	resp = append(resp, record...)
+	resp = append(resp, 0xFF)
+	if _, _, err := decodeRespPayload(resp); err == nil {
+		t.Fatal("resp frame with trailing garbage accepted")
+	}
+}
+
+// TestDataPayloadRejectsOversizeFields rejects length fields beyond their
+// bounds before any allocation based on them.
+func TestDataPayloadRejectsOversizeFields(t *testing.T) {
+	var data []byte
+	data = binary.BigEndian.AppendUint64(data, 1)
+	data = binary.AppendUvarint(data, maxNodeIDLen+1) // from length beyond bound
+	data = append(data, bytes.Repeat([]byte{'a'}, 16)...)
+	if _, _, _, _, err := decodeDataPayload(data); !errors.Is(err, wire.ErrOversize) {
+		t.Fatalf("err = %v, want wire.ErrOversize", err)
+	}
+}
+
+// TestConnRejectsHostileStream drives a real frameConn with wire garbage.
+func TestConnRejectsHostileStream(t *testing.T) {
+	feed := func(t *testing.T, raw []byte) error {
+		t.Helper()
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		go func() {
+			a.Write(raw)
+			a.Close()
+		}()
+		fc := newFrameConn(b, DefaultMaxFrame)
+		_, buf, err := fc.readFrame(time.Second)
+		if buf != nil {
+			putFrame(buf)
+		}
+		return err
+	}
+
+	t.Run("garbage bytes", func(t *testing.T) {
+		if err := feed(t, []byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("oversized frame", func(t *testing.T) {
+		var hdr [headerSize]byte
+		putHeader(&hdr, frameData, 1, 10)
+		binary.BigEndian.PutUint32(hdr[12:16], uint32(DefaultMaxFrame+1))
+		if err := feed(t, hdr[:]); !errors.Is(err, ErrFrameOversize) {
+			t.Fatalf("err = %v, want ErrFrameOversize", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		var hdr [headerSize]byte
+		putHeader(&hdr, frameData, 1, 10)
+		if err := feed(t, hdr[:7]); err == nil {
+			t.Fatal("truncated header accepted")
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		var hdr [headerSize]byte
+		putHeader(&hdr, frameData, 1, 100)
+		raw := append(hdr[:], []byte("only-some-bytes")...)
+		if err := feed(t, raw); err == nil {
+			t.Fatal("truncated payload accepted")
+		}
+	})
+}
+
+func TestWriteFrameRejectsOversizePayload(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := newFrameConn(b, 1024)
+	if err := fc.writeFrame(frameData, 1, make([]byte, 2048)); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("err = %v, want ErrFrameOversize", err)
+	}
+}
+
+// TestFramePathAllocs pins the steady-state frame codec path at zero
+// allocations: header encode/decode plus data/resp payload encode/decode in
+// pooled buffers — the per-exchange work of the TCP hot path outside the
+// socket itself.
+func TestFramePathAllocs(t *testing.T) {
+	record := bytes.Repeat([]byte{0x5c}, 580)
+	meta := make([]byte, 0, 256)
+	frame := make([]byte, 0, 1024)
+	var hdr [headerSize]byte
+
+	allocs := testing.AllocsPerRun(2000, func() {
+		// Client side: encode the data frame.
+		meta = appendDataMeta(meta[:0], 1700000000, "client-17", "relay-03", len(record))
+		putHeader(&hdr, frameData, 99, len(meta)+len(record))
+		// Server side: parse and decode.
+		h, err := parseHeader(&hdr, DefaultMaxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame = append(append(frame[:0], meta...), record...)
+		_, _, _, rec, err := decodeDataPayload(frame[:h.length])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Server side: encode the response; client side: decode it.
+		meta = appendRespMeta(meta[:0], 0, len(rec))
+		frame = append(append(frame[:0], meta...), rec...)
+		if _, _, err := decodeRespPayload(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("frame path allocates: %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,159 @@
+package nettrans
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cyclosa/internal/core"
+	"cyclosa/internal/enclave"
+	"cyclosa/internal/searchengine"
+	"cyclosa/internal/securechan"
+)
+
+func TestHelloPayloadRejectsHostileInput(t *testing.T) {
+	if _, err := decodeHelloPayload(nil); err == nil {
+		t.Fatal("empty hello accepted")
+	}
+	if _, err := decodeHelloPayload([]byte{ProtoVersion + 1, 0}); !errors.Is(err, ErrFrameVersion) {
+		t.Fatalf("wrong-proto hello err = %v, want ErrFrameVersion", err)
+	}
+	good := appendHelloPayload(nil, "id")
+	if _, err := decodeHelloPayload(append(good, 0xFF)); err == nil {
+		t.Fatal("hello with trailing garbage accepted")
+	}
+	if _, err := decodeHelloPayload(good[:2]); err == nil {
+		t.Fatal("truncated hello accepted")
+	}
+}
+
+func TestErrPayloadTruncatesOversizedMessage(t *testing.T) {
+	huge := strings.Repeat("x", maxErrMsgLen+100)
+	code, msg, err := decodeErrPayload(appendErrPayload(nil, errCodeRejected, huge))
+	if err != nil || code != errCodeRejected {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if len(msg) != maxErrMsgLen {
+		t.Fatalf("msg length %d, want truncation to %d", len(msg), maxErrMsgLen)
+	}
+}
+
+// flakyBackend fails queries containing "refuse" and stalls on "stall".
+type flakyBackend struct{ stall time.Duration }
+
+func (b flakyBackend) Search(_, query string, _ time.Time) ([]searchengine.Result, error) {
+	if strings.Contains(query, "refuse") {
+		return nil, searchengine.ErrRateLimited
+	}
+	if strings.Contains(query, "stall") && b.stall > 0 {
+		time.Sleep(b.stall)
+	}
+	return []searchengine.Result{{Title: "t", URL: "https://x"}}, nil
+}
+
+// startFlakyDaemon serves the attested service over the flaky backend.
+func startFlakyDaemon(t *testing.T, stall time.Duration) (*Server, *securechan.Handshaker) {
+	t.Helper()
+	ias := enclave.NewIAS()
+	verifier := enclave.NewVerifier(ias, enclave.MeasureCode(core.EnclaveName, core.EnclaveVersion))
+	plat := enclave.NewDeterministicPlatform("flaky-relay", []byte("flaky"), ias)
+	hsRelay, err := securechan.NewHandshaker(plat.New(enclave.Config{Name: core.EnclaveName, Version: core.EnclaveVersion}), verifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerConfig{
+		ID:      "flaky-daemon",
+		Service: &RelayService{Handshaker: hsRelay, Backend: flakyBackend{stall: stall}, Source: "flaky-daemon"},
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	clientPlat := enclave.NewDeterministicPlatform("flaky-client", []byte("flaky"), ias)
+	hsClient, err := securechan.NewHandshaker(clientPlat.New(enclave.Config{Name: core.EnclaveName, Version: core.EnclaveVersion}), verifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, hsClient
+}
+
+// TestServiceEngineRefusalSurfacesCleanly: a backend refusal travels back
+// as ErrEngineRefused — the transport worked, the engine said no — and the
+// session keeps serving.
+func TestServiceEngineRefusalSurfacesCleanly(t *testing.T) {
+	srv, hs := startFlakyDaemon(t, 0)
+	c, err := DialService(srv.Addr().String(), hs, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.PeerMeasurement() == "" {
+		t.Fatal("no attested measurement")
+	}
+
+	if _, err := c.Query("please refuse this"); !errors.Is(err, ErrEngineRefused) {
+		t.Fatalf("err = %v, want ErrEngineRefused", err)
+	}
+	results, err := c.Query("a good query")
+	if err != nil || len(results) != 1 {
+		t.Fatalf("session did not survive the refusal: results=%v err=%v", results, err)
+	}
+}
+
+// TestServiceQueryTimeout: a stalled engine times the query out without
+// poisoning the stream table.
+func TestServiceQueryTimeout(t *testing.T) {
+	srv, hs := startFlakyDaemon(t, 400*time.Millisecond)
+	c, err := DialService(srv.Addr().String(), hs, ClientConfig{RequestTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Query("stall here"); err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	// The late answer arrives, is decrypted in order and dropped; the
+	// session then still answers fresh queries.
+	time.Sleep(500 * time.Millisecond)
+	if _, err := c.Query("a good query"); err != nil {
+		t.Fatalf("session did not survive the timeout: %v", err)
+	}
+}
+
+// TestServiceSessionOutlivesDialTimeout is the stale-deadline regression:
+// the dial/hello/attest phase arms an absolute read deadline, and net.Conn
+// deadlines persist until changed — a session idle past DialTimeout used to
+// die of the leftover timeout. Both ends must survive an idle gap longer
+// than every handshake deadline.
+func TestServiceSessionOutlivesDialTimeout(t *testing.T) {
+	srv, hs := startFlakyDaemon(t, 0)
+	c, err := DialService(srv.Addr().String(), hs, ClientConfig{DialTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query("before the idle gap"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(900 * time.Millisecond) // well past DialTimeout
+	if _, err := c.Query("after the idle gap"); err != nil {
+		t.Fatalf("session died of a stale dial deadline: %v", err)
+	}
+}
+
+// TestServiceOversizeQueryRejectedClientSide: the bound is enforced before
+// anything is encrypted or sent.
+func TestServiceOversizeQueryRejectedClientSide(t *testing.T) {
+	srv, hs := startFlakyDaemon(t, 0)
+	c, err := DialService(srv.Addr().String(), hs, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query(strings.Repeat("q", maxServiceQueryLen+1)); err == nil {
+		t.Fatal("oversize query accepted")
+	}
+}

@@ -1,0 +1,407 @@
+package nettrans
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cyclosa/internal/core"
+	"cyclosa/internal/transport"
+)
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// ID is the identity announced in the hello preamble (defaults to the
+	// listen address).
+	ID string
+	// Handler serves the conduit data plane: every data frame becomes one
+	// Deliver call. nil rejects data frames (service-only server).
+	Handler transport.Conduit
+	// Service serves the attested query plane (attest/query frames). nil
+	// rejects them (conduit-only server).
+	Service *RelayService
+	// MaxFrame bounds a frame payload (default DefaultMaxFrame).
+	MaxFrame int
+	// MaxInFlight bounds concurrently dispatched exchanges across all
+	// connections (default 256). When full, a connection's read loop blocks,
+	// pushing back on the flooding peer through TCP instead of growing an
+	// unbounded queue.
+	MaxInFlight int
+	// IdleTimeout closes a connection with no inbound frame for this long
+	// (default 2 minutes).
+	IdleTimeout time.Duration
+	// HelloTimeout bounds the connection preamble (default 10 s).
+	HelloTimeout time.Duration
+	// DrainTimeout bounds the graceful drain on Close (default 5 s): after
+	// it, in-flight exchanges are abandoned and connections closed hard.
+	DrainTimeout time.Duration
+	// Logf, when non-nil, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *ServerConfig) applyDefaults() {
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 2 * time.Minute
+	}
+	if cfg.HelloTimeout <= 0 {
+		cfg.HelloTimeout = 10 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+}
+
+// Server accepts frame-protocol connections and serves the conduit data
+// plane and/or the attested query service over them.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	sem      chan struct{}
+	inflight sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[*frameConn]struct{}
+	closed bool
+
+	serving  bool          // Serve entered; Close only waits on the loop then
+	loopDone chan struct{} // closed when the accept loop exits
+}
+
+// NewServer builds a server; call Start (or Listen + Serve) to run it.
+func NewServer(cfg ServerConfig) *Server {
+	cfg.applyDefaults()
+	return &Server{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		conns:    make(map[*frameConn]struct{}),
+		loopDone: make(chan struct{}),
+	}
+}
+
+// Listen binds the listen socket (addr like "127.0.0.1:0") without serving
+// yet; Serve runs the accept loop.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("nettrans: server closed")
+	}
+	s.ln = ln
+	if s.cfg.ID == "" {
+		s.cfg.ID = ln.Addr().String()
+	}
+	s.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Start binds addr and serves in a background goroutine; an accept-loop
+// failure is reported through Logf (Close still ends the loop cleanly).
+func (s *Server) Start(addr string) error {
+	if _, err := s.Listen(addr); err != nil {
+		return err
+	}
+	go func() {
+		if err := s.Serve(); err != nil {
+			s.cfg.Logf("nettrans: accept loop failed: %v", err)
+		}
+	}()
+	return nil
+}
+
+// Serve runs the accept loop until Close. Listen must have been called.
+func (s *Server) Serve() error {
+	defer close(s.loopDone)
+	s.mu.Lock()
+	ln := s.ln
+	s.serving = true
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("nettrans: Serve before Listen")
+	}
+	var acceptDelay time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			// Transient accept failures (fd exhaustion, ECONNABORTED) must
+			// not brick the listener for the life of the daemon: back off
+			// and retry, like net/http does.
+			if ne, ok := err.(net.Error); ok && ne.Temporary() { //nolint:staticcheck // the standard accept-retry test
+				if acceptDelay == 0 {
+					acceptDelay = 5 * time.Millisecond
+				} else if acceptDelay *= 2; acceptDelay > time.Second {
+					acceptDelay = time.Second
+				}
+				s.cfg.Logf("nettrans: accept: %v; retrying in %v", err, acceptDelay)
+				time.Sleep(acceptDelay)
+				continue
+			}
+			return err
+		}
+		acceptDelay = 0
+		go s.serveConn(conn)
+	}
+}
+
+// register tracks a live connection; it fails when the server is draining.
+func (s *Server) register(fc *frameConn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[fc] = struct{}{}
+	return true
+}
+
+func (s *Server) unregister(fc *frameConn) {
+	s.mu.Lock()
+	delete(s.conns, fc)
+	s.mu.Unlock()
+}
+
+// dispatch runs work on a bounded worker slot. It returns false when the
+// server is draining (the work is not run). Acquiring the slot blocks the
+// calling read loop — bounded in-flight work is the backpressure.
+func (s *Server) dispatch(work func()) bool {
+	s.sem <- struct{}{}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.sem
+		return false
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer func() {
+			<-s.sem
+			s.inflight.Done()
+		}()
+		work()
+	}()
+	return true
+}
+
+// serveConn runs one connection: hello exchange, then the frame loop.
+func (s *Server) serveConn(nc net.Conn) {
+	fc := newFrameConn(nc, s.cfg.MaxFrame)
+	if !s.register(fc) {
+		fc.Close()
+		return
+	}
+	var svc *serviceConn
+	defer func() {
+		s.unregister(fc)
+		fc.Close()
+		if svc != nil {
+			// A dropped connection must not leak session state: closing the
+			// responder half here (the dialer closes its own) makes the next
+			// connection re-attest with fresh nonce counters.
+			svc.close()
+		}
+	}()
+
+	peer, err := fc.expectHello(s.cfg.HelloTimeout)
+	if err != nil {
+		s.cfg.Logf("nettrans: %s: bad preamble: %v", nc.RemoteAddr(), err)
+		return
+	}
+	if err := fc.sendHello(s.cfg.ID); err != nil {
+		return
+	}
+	s.cfg.Logf("nettrans: %s: connected (peer %q)", nc.RemoteAddr(), peer)
+
+	for {
+		h, buf, err := fc.readFrame(s.cfg.IdleTimeout)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("nettrans: %s: read: %v", nc.RemoteAddr(), err)
+			}
+			return
+		}
+		switch h.typ {
+		case frameData:
+			if s.cfg.Handler == nil {
+				putFrame(buf)
+				if fc.writeErrFrame(h.stream, errCodeRejected, "no data-plane handler") != nil {
+					return
+				}
+				continue
+			}
+			if !s.dispatch(func() { s.handleData(fc, h, buf) }) {
+				// Draining: refuse the new exchange but keep the connection
+				// open — answers already dispatched on it must still flush;
+				// Close cuts the socket once the drain completes.
+				putFrame(buf)
+				if fc.writeErrFrame(h.stream, errCodeUnavailable, "server draining") != nil {
+					return
+				}
+				continue
+			}
+		case frameAttest:
+			if s.cfg.Service == nil {
+				putFrame(buf)
+				if fc.writeErrFrame(h.stream, errCodeRejected, "no attested service") != nil {
+					return
+				}
+				continue
+			}
+			if svc == nil {
+				svc = s.cfg.Service.newConn(fc, peer)
+			}
+			err := svc.handleAttest(h, *buf)
+			putFrame(buf)
+			if err != nil {
+				s.cfg.Logf("nettrans: %s: attest: %v", nc.RemoteAddr(), err)
+				return
+			}
+		case frameQuery:
+			if svc == nil || !svc.attested() {
+				putFrame(buf)
+				s.cfg.Logf("nettrans: %s: query before attestation", nc.RemoteAddr())
+				return
+			}
+			// Decrypt in the read loop — records must be opened in arrival
+			// order — then dispatch the engine work.
+			work, err := svc.prepareQuery(h, *buf)
+			putFrame(buf)
+			if err != nil {
+				s.cfg.Logf("nettrans: %s: query: %v", nc.RemoteAddr(), err)
+				return
+			}
+			if !s.dispatch(work) {
+				// Same drain rule as data frames: refuse, don't cut.
+				if fc.writeErrFrame(h.stream, errCodeUnavailable, "server draining") != nil {
+					return
+				}
+				continue
+			}
+		case frameGoaway, frameHello:
+			putFrame(buf) // tolerated mid-stream; nothing to do
+		default:
+			// resp/answer/err frames travel server -> client only; receiving
+			// one is a protocol violation, so the connection is cut rather
+			// than risking desynchronized framing.
+			putFrame(buf)
+			s.cfg.Logf("nettrans: %s: unexpected frame type %d", nc.RemoteAddr(), h.typ)
+			return
+		}
+	}
+}
+
+// handleData serves one conduit exchange: decode, deliver, respond. It owns
+// buf and releases it. Any response-write failure closes the connection:
+// bufio's write errors are sticky, so a peer that stopped reading would
+// otherwise keep feeding us work whose answers all silently vanish.
+func (s *Server) handleData(fc *frameConn, h header, buf *[]byte) {
+	defer putFrame(buf)
+	nowNano, from, to, record, err := decodeDataPayload(*buf)
+	if err != nil {
+		if fc.writeErrFrame(h.stream, errCodeRejected, fmt.Sprintf("bad data frame: %v", err)) != nil {
+			fc.Close()
+		}
+		return
+	}
+	resp, injected, err := s.cfg.Handler.Deliver(string(from), string(to), record, time.Unix(0, nowNano))
+	if err != nil {
+		code := byte(errCodeRejected)
+		if errors.Is(err, core.ErrRelayUnavailable) {
+			code = errCodeUnavailable
+		}
+		if fc.writeErrFrame(h.stream, code, err.Error()) != nil {
+			fc.Close()
+		}
+		return
+	}
+	meta := getFrame()
+	*meta = appendRespMeta((*meta)[:0], int64(injected), len(resp))
+	// The response record is written out before this exchange returns; the
+	// conduit contract keeps it valid until the pair's next delivery, which
+	// cannot start until the requester has read this frame.
+	if fc.writeFrame(frameResp, h.stream, *meta, resp) != nil {
+		fc.Close()
+	}
+	putFrame(meta)
+}
+
+// Close gracefully drains the server: stop accepting, notify peers with a
+// goaway, let in-flight exchanges finish (bounded by DrainTimeout), then
+// close every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	serving := s.serving
+	conns := make([]*frameConn, 0, len(s.conns))
+	for fc := range s.conns {
+		conns = append(conns, fc)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	// Best-effort goaway, fired concurrently: a stalled peer can hold a
+	// connection's write lock for the full write timeout, and Close must be
+	// bounded by DrainTimeout, not by the slowest peer times the conn
+	// count. Stragglers error out once the connections are closed below.
+	for _, fc := range conns {
+		go fc.writeFrame(frameGoaway, 0) //nolint:errcheck // best-effort notice
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.cfg.Logf("nettrans: drain timeout, closing with work in flight")
+	}
+
+	for _, fc := range conns {
+		fc.Close()
+	}
+	if serving {
+		<-s.loopDone
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package nettrans
+
+import "sync"
+
+// streamTable is the multiplexing core shared by the conduit pool and the
+// service client: it assigns stream IDs to pending calls, routes one result
+// to each waiter, and fails everything on teardown. The concurrency
+// invariants live here once — a result is delivered to at most one owner
+// (waiter, late-drop, or teardown), whoever removes the stream from the
+// table first.
+type streamTable[T any] struct {
+	mu      sync.Mutex
+	pend    map[uint64]chan T
+	next    uint64
+	dead    bool
+	deadErr error
+}
+
+// register assigns the next stream ID to a new pending call. The returned
+// channel has capacity 1 so delivery never blocks the reader.
+func (st *streamTable[T]) register() (uint64, chan T, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dead {
+		return 0, nil, st.deadErr
+	}
+	if st.pend == nil {
+		st.pend = make(map[uint64]chan T)
+	}
+	st.next++
+	id := st.next
+	ch := make(chan T, 1)
+	st.pend[id] = ch
+	return id, ch, nil
+}
+
+// unregister removes and returns the pending channel for a stream — nil
+// when already claimed (delivered, failed, or timed out). The caller owns
+// whatever it gets back.
+func (st *streamTable[T]) unregister(id uint64) chan T {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ch := st.pend[id]
+	delete(st.pend, id)
+	return ch
+}
+
+// deliver routes a result to its waiter; false means no one is waiting
+// (the caller keeps ownership of the result).
+func (st *streamTable[T]) deliver(id uint64, v T) bool {
+	ch := st.unregister(id)
+	if ch == nil {
+		return false
+	}
+	ch <- v
+	return true
+}
+
+// close marks the table dead (register fails with err from here on) and
+// fails every pending stream with mk(err). It reports whether this call
+// was the one that killed the table, so one-shot teardown side effects can
+// key off it. Idempotent.
+func (st *streamTable[T]) close(err error, mk func(error) T) bool {
+	st.mu.Lock()
+	if st.dead {
+		st.mu.Unlock()
+		return false
+	}
+	st.dead = true
+	st.deadErr = err
+	pend := st.pend
+	st.pend = nil
+	st.mu.Unlock()
+	for _, ch := range pend {
+		ch <- mk(err)
+	}
+	return true
+}
+
+// alive reports whether the table still accepts new streams.
+func (st *streamTable[T]) alive() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return !st.dead
+}
+
+// idle reports whether no streams are pending.
+func (st *streamTable[T]) idle() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.pend) == 0
+}

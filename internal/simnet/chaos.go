@@ -47,6 +47,14 @@ type ChaosOptions struct {
 	Workload string
 	// Schedule bounds node-level damage.
 	Schedule ScheduleConfig
+	// Transport, when non-nil, wraps the network's direct conduit *under*
+	// the fault-injection layer: deliveries flow direct -> Transport ->
+	// Sim. It lets the whole chaos suite — schedule, per-delivery faults,
+	// invariant checkers, accounting — run over a real transport (e.g.
+	// nettrans's loopback TCP data plane) instead of the in-process path.
+	// The returned conduit must be reliable when unfaulted, or the
+	// delivered-equals-relayed accounting check will trip.
+	Transport func(direct transport.Conduit) transport.Conduit
 }
 
 // DefaultChaosFaults is the standard chaos mix: every catalog entry fires,
@@ -198,13 +206,19 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 			return sensitivity.NewAnalyzer(alwaysSensitive{}, nil, opts.K)
 		}
 	}
+	conduit := sim.Wrap
+	if opts.Transport != nil {
+		conduit = func(direct transport.Conduit) transport.Conduit {
+			return sim.Wrap(opts.Transport(direct))
+		}
+	}
 	net, err := core.NewNetwork(core.NetworkOptions{
 		Nodes:        opts.Nodes,
 		Seed:         opts.Seed,
 		Backend:      core.NullBackend{},
 		LatencyModel: transport.TestbedModel(opts.Seed),
 		AnalyzerFor:  analyzerFor,
-		Conduit:      sim.Wrap,
+		Conduit:      conduit,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("simnet: chaos network: %w", err)

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+	"unsafe"
+)
+
+// OwnershipChecker wraps a Conduit and asserts the ownership contract
+// documented on the interface, catching aliasing violations in any
+// implementation:
+//
+//   - a returned response must stay byte-identical until the next delivery
+//     between the same pair (an implementation that reuses one buffer across
+//     pairs, or overwrites a response early, is caught when any other
+//     pair's retained response changes underneath it);
+//   - a returned response must not alias the request payload (the payload
+//     buffer returns to the caller's ownership when Deliver returns, so a
+//     response pointing into it would be corrupted by the caller's next
+//     encode).
+//
+// Debug/test instrumentation only: every response is copied and every
+// delivery re-scans the retained set, so keep it out of production conduit
+// stacks. Violations are recorded, not panicked, so one run reports every
+// broken pair; tests assert Violations() is empty.
+type OwnershipChecker struct {
+	inner Conduit
+
+	mu         sync.Mutex
+	pairs      map[[2]string]*retainedResp
+	violations []string
+}
+
+// retainedResp is the live response slice of a pair plus the snapshot taken
+// when it was returned.
+type retainedResp struct {
+	live     []byte
+	snapshot []byte
+}
+
+// maxCheckerViolations bounds the recorded list.
+const maxCheckerViolations = 32
+
+// NewOwnershipChecker wraps inner.
+func NewOwnershipChecker(inner Conduit) *OwnershipChecker {
+	return &OwnershipChecker{
+		inner: inner,
+		pairs: make(map[[2]string]*retainedResp),
+	}
+}
+
+var _ Conduit = (*OwnershipChecker)(nil)
+
+// Deliver delegates to the wrapped conduit, auditing the ownership contract
+// before and after.
+func (c *OwnershipChecker) Deliver(from, to string, payload []byte, now time.Time) ([]byte, time.Duration, error) {
+	key := [2]string{from, to}
+	c.mu.Lock()
+	// Every retained response — including the current pair's, which had to
+	// stay valid right up to this call — must still read exactly as
+	// returned.
+	for k, r := range c.pairs {
+		if !bytes.Equal(r.live, r.snapshot) {
+			c.violate("response for pair %s->%s mutated before its next delivery (noticed on delivery %s->%s)",
+				k[0], k[1], from, to)
+			r.snapshot = append(r.snapshot[:0], r.live...) // report once per overwrite
+		}
+	}
+	// This delivery consumes the pair's previous response: from here on the
+	// implementation may legally reuse its buffer.
+	delete(c.pairs, key)
+	c.mu.Unlock()
+
+	resp, injected, err := c.inner.Deliver(from, to, payload, now)
+
+	if err == nil && len(resp) > 0 {
+		if overlaps(resp, payload) {
+			c.mu.Lock()
+			c.violate("response for pair %s->%s aliases the request payload", from, to)
+			c.mu.Unlock()
+		}
+		c.mu.Lock()
+		c.pairs[key] = &retainedResp{live: resp, snapshot: append([]byte(nil), resp...)}
+		c.mu.Unlock()
+	}
+	return resp, injected, err
+}
+
+// Violations returns the recorded contract violations.
+func (c *OwnershipChecker) Violations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.violations))
+	copy(out, c.violations)
+	return out
+}
+
+// violate records one violation (caller holds mu).
+func (c *OwnershipChecker) violate(format string, args ...any) {
+	if len(c.violations) >= maxCheckerViolations {
+		return
+	}
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+}
+
+// overlaps reports whether two slices share any backing bytes (within their
+// visible lengths).
+func overlaps(a, b []byte) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	pa := uintptr(unsafe.Pointer(unsafe.SliceData(a)))
+	pb := uintptr(unsafe.Pointer(unsafe.SliceData(b)))
+	return pa < pb+uintptr(len(b)) && pb < pa+uintptr(len(a))
+}

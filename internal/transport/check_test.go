@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// pairBufConduit honors the ownership contract: one response buffer per
+// pair, reused only on that pair's next delivery.
+type pairBufConduit struct {
+	bufs map[[2]string][]byte
+	n    byte
+}
+
+func (c *pairBufConduit) Deliver(from, to string, payload []byte, _ time.Time) ([]byte, time.Duration, error) {
+	if c.bufs == nil {
+		c.bufs = make(map[[2]string][]byte)
+	}
+	key := [2]string{from, to}
+	buf := c.bufs[key]
+	buf = append(buf[:0], payload...)
+	c.n++
+	buf = append(buf, c.n)
+	c.bufs[key] = buf
+	return buf, 0, nil
+}
+
+// sharedBufConduit violates the contract: one buffer shared across all
+// pairs, overwritten on every delivery.
+type sharedBufConduit struct {
+	buf []byte
+	n   byte
+}
+
+func (c *sharedBufConduit) Deliver(from, to string, payload []byte, _ time.Time) ([]byte, time.Duration, error) {
+	c.buf = append(c.buf[:0], payload...)
+	c.n++
+	c.buf = append(c.buf, c.n)
+	return c.buf, 0, nil
+}
+
+// aliasConduit violates the contract differently: the response aliases the
+// caller's payload buffer.
+type aliasConduit struct{}
+
+func (aliasConduit) Deliver(_, _ string, payload []byte, _ time.Time) ([]byte, time.Duration, error) {
+	return payload, 0, nil
+}
+
+func TestOwnershipCheckerPassesCompliantConduit(t *testing.T) {
+	ck := NewOwnershipChecker(&pairBufConduit{})
+	now := time.Unix(0, 0)
+	for i := 0; i < 8; i++ {
+		// Interleave two pairs: each keeps its own response alive across the
+		// other's deliveries.
+		if _, _, err := ck.Deliver("a", "b", []byte("req-ab"), now); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ck.Deliver("c", "d", []byte("req-cd"), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := ck.Violations(); len(v) != 0 {
+		t.Fatalf("compliant conduit flagged: %v", v)
+	}
+}
+
+func TestOwnershipCheckerCatchesCrossPairReuse(t *testing.T) {
+	ck := NewOwnershipChecker(&sharedBufConduit{})
+	now := time.Unix(0, 0)
+	ck.Deliver("a", "b", []byte("req-ab"), now)
+	// This delivery overwrites pair a->b's retained response in place (the
+	// payloads have equal length, so the shared buffer is not regrown)...
+	ck.Deliver("c", "d", []byte("req-cd"), now)
+	// ...which the checker notices on the next delivery's scan.
+	ck.Deliver("a", "b", []byte("req-ab"), now)
+	v := ck.Violations()
+	if len(v) == 0 {
+		t.Fatal("shared-buffer conduit not flagged")
+	}
+	if !strings.Contains(v[0], "mutated before its next delivery") {
+		t.Fatalf("unexpected violation text: %q", v[0])
+	}
+}
+
+func TestOwnershipCheckerCatchesPayloadAliasing(t *testing.T) {
+	ck := NewOwnershipChecker(aliasConduit{})
+	ck.Deliver("a", "b", []byte("req"), time.Unix(0, 0))
+	v := ck.Violations()
+	if len(v) == 0 {
+		t.Fatal("payload-aliasing conduit not flagged")
+	}
+	if !strings.Contains(v[0], "aliases the request payload") {
+		t.Fatalf("unexpected violation text: %q", v[0])
+	}
+}

@@ -17,7 +17,8 @@ import "time"
 // the call (it aliases the caller's per-pair scratch buffer); the returned
 // response is valid only until the next delivery between the same pair and
 // must be consumed before then, exactly like the relay-owned scratch it
-// usually points into.
+// usually points into. OwnershipChecker wraps any implementation and audits
+// this contract at runtime — use it in tests of new Conduit implementations.
 type Conduit interface {
 	Deliver(from, to string, payload []byte, now time.Time) (resp []byte, injected time.Duration, err error)
 }
