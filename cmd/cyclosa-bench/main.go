@@ -9,11 +9,15 @@
 //	cyclosa-bench -exp loadtest -concurrency 32 -duration 2s -workload zipf
 //	cyclosa-bench -exp relay -json BENCH_relay.json
 //	cyclosa-bench -exp net -json BENCH_net.json
+//	cyclosa-bench -exp gossip -json BENCH_gossip.json
 //	cyclosa-bench -exp chaos -seed 7 -workload zipf -chaos-intensity 2
 //
 // Experiments: table1, crowd, table2, fig5, fig6, fig7, fig8a, fig8b,
-// fig8c, fig8d, loadtest, relay, net, chaos, all (everything except the
-// real-time fig8c, loadtest, relay and net unless explicitly requested).
+// fig8c, fig8d, loadtest, relay, net, gossip, chaos, all (everything except
+// the real-time fig8c, loadtest, relay and net unless explicitly
+// requested). The gossip experiment measures the membership control plane:
+// convergence of a seeded overlay, re-convergence under churn, and the
+// blacklist no-re-entry invariant.
 //
 // The chaos experiment drives the internal/simnet fault-injection layer:
 // a seed-derived crash/restart/partition schedule plus per-delivery drops,
@@ -58,7 +62,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cyclosa-bench", flag.ContinueOnError)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|chaos|loadtest|relay|net|all")
+		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|chaos|loadtest|relay|net|gossip|all")
 		seed        = fs.Int64("seed", 1, "random seed")
 		users       = fs.Int("users", 198, "workload users (paper: 198)")
 		mean        = fs.Int("mean-queries", 120, "mean queries per user")
@@ -195,6 +199,20 @@ func run(args []string) error {
 				Iterations:  *iterations,
 				Concurrency: *concurrency,
 			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			if *jsonOut != "" {
+				if err := r.WriteJSON(*jsonOut); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+			}
+			return nil
+		}},
+		{"gossip", func() error {
+			r, err := eval.RunGossipBench(eval.GossipBenchOptions{Seed: *seed})
 			if err != nil {
 				return err
 			}

@@ -1,22 +1,31 @@
 // Command cyclosa-node is the networked deployment: a long-running relay
 // daemon serving many concurrent clients over the internal/nettrans frame
-// protocol, and a client that attests it and multiplexes queries over one
-// attested session.
+// protocol, discovering and attesting other daemons through gossip, and a
+// client that attests it and multiplexes queries over one attested session.
 //
 // Usage:
 //
-//	cyclosa-node -mode node -listen :7844                # long-running daemon
-//	cyclosa-node -mode node -listen :7845 -peers host:7844
+//	cyclosa-node -mode node -listen :7844                     # seed daemon
+//	cyclosa-node -mode node -listen :7845 -bootstrap host:7844
 //	cyclosa-node -mode client -connect host:7844 -query "terms"
 //	cyclosa-node -mode client -connect host:7844 -n 100 -concurrency 8
-//	cyclosa-node -mode demo                              # daemon + client in one process
+//	cyclosa-node -mode view -connect host:7844                # view introspection
+//	cyclosa-node -mode demo                                   # daemon + client in one process
 //
 // The daemon serves the attested query service: each connection runs one
 // remote-attestation handshake, then any number of in-flight queries
 // multiplex over the session as frame streams. It drains gracefully on
-// SIGINT/SIGTERM (stop accepting, finish in-flight exchanges, close). With
-// -peers it bootstraps by dialing and attesting the given peer daemons at
-// start-up, the seed of a multi-daemon overlay.
+// SIGINT/SIGTERM (stop accepting, finish in-flight exchanges, close).
+//
+// Membership is dynamic: -bootstrap names seed daemons only. The daemon
+// joins by exchanging its partial view with the seeds (gossip frames), then
+// keeps gossiping every -gossip-interval; peers discovered through the
+// overlay are re-attested as they enter the view and cached in the
+// attestation directory. No static peer list exists anywhere — a daemon
+// started with only a seed address discovers, attests and serves the whole
+// overlay. If every -bootstrap seed is unreachable the daemon exits
+// non-zero instead of serving an empty view. `-mode view` dials a daemon
+// and prints its live view and directory (id, address, age, attestation).
 //
 // The client issues -n queries over ONE attested session using -concurrency
 // worker goroutines — the stream-multiplexing path, not n serial
@@ -33,6 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -46,6 +56,7 @@ import (
 	"cyclosa/internal/enclave"
 	"cyclosa/internal/nettrans"
 	"cyclosa/internal/queries"
+	"cyclosa/internal/rps"
 	"cyclosa/internal/searchengine"
 	"cyclosa/internal/securechan"
 )
@@ -63,15 +74,17 @@ func main() {
 func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("cyclosa-node", flag.ContinueOnError)
 	var (
-		mode        = fs.String("mode", "demo", "node|client|demo (relay = deprecated alias of node)")
+		mode        = fs.String("mode", "demo", "node|client|view|demo (relay = deprecated alias of node)")
 		listen      = fs.String("listen", "127.0.0.1:7844", "daemon listen address")
-		connect     = fs.String("connect", "127.0.0.1:7844", "client target address")
+		connect     = fs.String("connect", "127.0.0.1:7844", "client/view target address")
 		query       = fs.String("query", "", "client query (default: topical samples)")
 		n           = fs.Int("n", 1, "client: number of queries to issue over one attested session")
 		concurrency = fs.Int("concurrency", 4, "client: concurrent in-flight queries (capped at -n)")
 		seed        = fs.Int64("seed", 1, "seed for the daemon's simulated engine and sample queries")
-		id          = fs.String("id", "cyclosa-node", "daemon identity announced to clients")
-		peers       = fs.String("peers", "", "comma-separated peer daemon addresses to attest at start-up")
+		id          = fs.String("id", "cyclosa-node", "daemon identity announced to clients and gossiped in views")
+		bootstrap   = fs.String("bootstrap", "", "comma-separated seed daemon addresses; the daemon joins the overlay through them (exits non-zero if none is reachable)")
+		advertise   = fs.String("advertise", "", "address gossiped to peers (default: the bound listen address)")
+		gossipEvery = fs.Duration("gossip-interval", time.Second, "gossip round period")
 		iasSecret   = fs.String("ias-secret", "cyclosa-demo", "shared attestation provisioning secret")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,13 +95,17 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 	switch *mode {
 	case "node", "relay": // relay kept as a deprecated alias
 		return runNode(env, nodeConfig{
-			listen: *listen,
-			id:     *id,
-			seed:   *seed,
-			peers:  splitPeers(*peers),
+			listen:      *listen,
+			id:          *id,
+			seed:        *seed,
+			bootstrap:   splitPeers(*bootstrap),
+			advertise:   *advertise,
+			gossipEvery: *gossipEvery,
 		}, ready, stop)
 	case "client":
 		return runClient(env, *connect, *query, *n, *concurrency, *seed)
+	case "view":
+		return runView(os.Stdout, *connect)
 	case "demo":
 		readyCh := make(chan string, 1)
 		stopCh := make(chan struct{})
@@ -116,7 +133,7 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 	default:
 		fs.SetOutput(os.Stderr)
 		fs.Usage()
-		return fmt.Errorf("unknown mode %q (want node|client|demo)", *mode)
+		return fmt.Errorf("unknown mode %q (want node|client|view|demo)", *mode)
 	}
 }
 
@@ -153,15 +170,23 @@ func newAttestationEnv(secret string) *attestationEnv {
 
 // nodeConfig parametrizes one daemon.
 type nodeConfig struct {
-	listen string
-	id     string
-	seed   int64
-	peers  []string
+	listen      string
+	id          string
+	seed        int64
+	bootstrap   []string
+	advertise   string
+	gossipEvery time.Duration
 }
 
 // runNode runs the long-running relay daemon until a signal (or stop
-// closes), then drains gracefully.
+// closes), then drains gracefully. With bootstrap seeds configured the
+// daemon joins the gossip overlay through them — and fails hard when none
+// is reachable, because a relay with an empty view is useless and the
+// operator should know immediately.
 func runNode(env *attestationEnv, cfg nodeConfig, ready chan<- string, stop <-chan struct{}) error {
+	if cfg.gossipEvery <= 0 {
+		cfg.gossipEvery = time.Second
+	}
 	encl := env.relay.New(enclave.Config{Name: core.EnclaveName, Version: core.EnclaveVersion})
 	hs, err := securechan.NewHandshaker(encl, env.verifier)
 	if err != nil {
@@ -170,59 +195,117 @@ func runNode(env *attestationEnv, cfg nodeConfig, ready chan<- string, stop <-ch
 	uni := queries.NewUniverse(queries.UniverseConfig{Seed: cfg.seed})
 	engine := searchengine.New(uni, searchengine.Config{Seed: cfg.seed})
 
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "node: "+format+"\n", args...)
+	}
+	// The attestation directory's verifier: every peer entering the view is
+	// dialed and taken through the full remote-attestation handshake; its
+	// measurement is cached as directory evidence. DialService wraps
+	// verification failures in ErrAttestRejected, which the membership layer
+	// turns into a blacklist entry (transport failures only evict).
+	attest := func(peerID, addr string) (string, error) {
+		pc, err := nettrans.DialService(addr, hs, nettrans.ClientConfig{ID: cfg.id, DialTimeout: 3 * time.Second})
+		if err != nil {
+			return "", err
+		}
+		defer pc.Close()
+		// Bind the gossiped identity to the dialed endpoint: a daemon that
+		// gossips someone else's ID with its own address must not get that
+		// ID's directory entry pointed at it. An identity mismatch is a
+		// verification failure (blacklist), not mere unreachability.
+		if pc.ServerID() != peerID {
+			return "", fmt.Errorf("%w: %s claims identity %q, gossiped as %q",
+				nettrans.ErrAttestRejected, addr, pc.ServerID(), peerID)
+		}
+		return pc.PeerMeasurement(), nil
+	}
+	membership := nettrans.NewMembership(nettrans.MembershipConfig{
+		Self:       rps.Descriptor{ID: rps.NodeID(cfg.id)},
+		Bootstrap:  cfg.bootstrap,
+		Interval:   cfg.gossipEvery,
+		Attest:     attest,
+		PoolConfig: nettrans.PoolConfig{ID: cfg.id, DialTimeout: 3 * time.Second, RequestTimeout: 5 * time.Second},
+		Logf:       logf,
+	})
+	defer membership.Stop()
+
 	srv := nettrans.NewServer(nettrans.ServerConfig{
-		ID:      cfg.id,
-		Service: &nettrans.RelayService{Handshaker: hs, Backend: engine, Source: cfg.id},
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "node: "+format+"\n", args...)
-		},
+		ID:         cfg.id,
+		Service:    &nettrans.RelayService{Handshaker: hs, Backend: engine, Source: cfg.id},
+		Membership: membership,
+		Logf:       logf,
 	})
 	addr, err := srv.Listen(cfg.listen)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("node %s: listening on %s (enclave %s)\n", cfg.id, addr, encl.Measurement())
-	if ready != nil {
-		ready <- addr.String()
+	adv := cfg.advertise
+	if adv == "" {
+		adv = addr.String()
 	}
+	membership.SetAdvertise(adv)
+	fmt.Printf("node %s: listening on %s, advertising %s (enclave %s)\n", cfg.id, addr, adv, encl.Measurement())
 
-	// Catch shutdown signals before the peer bootstrap: unreachable peers
-	// cost dial timeouts, and a SIGTERM in that window must still reach the
+	// Catch shutdown signals before the bootstrap: unreachable seeds cost
+	// dial timeouts, and a SIGTERM in that window must still reach the
 	// graceful drain below rather than killing the process outright.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
 
-	// Bootstrap: dial and attest each configured peer daemon. A peer that
-	// is down is reported but not fatal — it can join later.
-	var peerClients []*nettrans.Client
-	defer func() {
-		for _, pc := range peerClients {
-			pc.Close()
-		}
-	}()
-	for _, peer := range cfg.peers {
-		pc, err := nettrans.DialService(peer, hs, nettrans.ClientConfig{ID: cfg.id})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "node %s: peer %s unreachable: %v\n", cfg.id, peer, err)
-			continue
-		}
-		fmt.Printf("node %s: attested peer %s at %s (enclave %s)\n", cfg.id, pc.ServerID(), peer, pc.PeerMeasurement())
-		peerClients = append(peerClients, pc)
-	}
-
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve() }()
+	defer srv.Close()
+
+	// Join the overlay. With seeds configured and none reachable this is
+	// fatal — exit non-zero with a clear message instead of serving an
+	// empty view that every client would mistake for a healthy daemon.
+	if err := membership.Bootstrap(); err != nil {
+		return fmt.Errorf("join failed, no bootstrap seed reachable (tried %s): %w",
+			strings.Join(cfg.bootstrap, ", "), err)
+	}
+	if len(cfg.bootstrap) > 0 {
+		fmt.Printf("node %s: joined overlay via %s\n", cfg.id, strings.Join(cfg.bootstrap, ", "))
+	}
+	membership.Start()
+	if ready != nil {
+		ready <- addr.String()
+	}
 
 	select {
 	case err := <-errCh:
-		srv.Close()
 		return err
 	case s := <-sig:
 		fmt.Printf("node %s: %s, draining\n", cfg.id, s)
 	case <-stop:
 	}
+	membership.Stop()
 	return srv.Close()
+}
+
+// runView dials a daemon's introspection endpoint and renders its live view
+// and attestation directory.
+func runView(w io.Writer, addr string) error {
+	snap, err := nettrans.FetchView(addr, nettrans.PoolConfig{DialTimeout: 3 * time.Second, RequestTimeout: 5 * time.Second})
+	if err != nil {
+		return fmt.Errorf("view of %s: %w", addr, err)
+	}
+	fmt.Fprintf(w, "view of %s (%s) after %d gossip rounds: %d peer(s)\n",
+		snap.Self, snap.Addr, snap.Rounds, len(snap.Peers))
+	if len(snap.Peers) > 0 {
+		fmt.Fprintf(w, "  %-20s %-22s %5s  %-8s %s\n", "PEER", "ADDR", "AGE", "ATTESTED", "MEASUREMENT")
+		for _, p := range snap.Peers {
+			att := "no"
+			if p.Attested {
+				att = "yes"
+			}
+			fmt.Fprintf(w, "  %-20s %-22s %5d  %-8s %s\n", p.ID, p.Addr, p.Age, att, p.Measurement)
+		}
+	}
+	if len(snap.Blacklisted) > 0 {
+		fmt.Fprintf(w, "blacklisted: %s\n", strings.Join(snap.Blacklisted, ", "))
+	}
+	return nil
 }
 
 // runClient attests the daemon and issues n queries over the single

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
+
+	"cyclosa/internal/nettrans"
 )
 
 // startNode runs the daemon in-process and returns its address plus a stop
@@ -56,7 +59,7 @@ func TestUnknownMode(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown mode should fail")
 	}
-	if !strings.Contains(err.Error(), "unknown mode") || !strings.Contains(err.Error(), "node|client|demo") {
+	if !strings.Contains(err.Error(), "unknown mode") || !strings.Contains(err.Error(), "node|client|view|demo") {
 		t.Fatalf("error should carry usage hint, got: %v", err)
 	}
 }
@@ -83,16 +86,72 @@ func TestMismatchedIASSecret(t *testing.T) {
 	}
 }
 
-// TestPeerBootstrap: a second daemon bootstraps by attesting the first.
-func TestPeerBootstrap(t *testing.T) {
+// TestBootstrapDiscovery: two daemons started with only -bootstrap <seed>
+// discover each other through gossip, attest each other's enclaves into
+// their directories, and both serve relayed queries — no static peer list.
+func TestBootstrapDiscovery(t *testing.T) {
 	env := newAttestationEnv("peer-secret")
-	addrA := startNode(t, env, nodeConfig{listen: "127.0.0.1:0", id: "node-a", seed: 1})
-	addrB := startNode(t, env, nodeConfig{listen: "127.0.0.1:0", id: "node-b", seed: 1, peers: []string{addrA}})
-	// Both daemons serve clients after the bootstrap.
+	addrA := startNode(t, env, nodeConfig{listen: "127.0.0.1:0", id: "node-a", seed: 1, gossipEvery: 20 * time.Millisecond})
+	addrB := startNode(t, env, nodeConfig{listen: "127.0.0.1:0", id: "node-b", seed: 1,
+		bootstrap: []string{addrA}, gossipEvery: 20 * time.Millisecond})
+
+	// Each daemon's view must show the other, attested, with a measurement.
+	attestedPeer := func(addr, want string) bool {
+		snap, err := nettrans.FetchView(addr, nettrans.PoolConfig{DialTimeout: time.Second, RequestTimeout: 2 * time.Second})
+		if err != nil {
+			return false
+		}
+		for _, p := range snap.Peers {
+			if p.ID == want && p.Attested && p.Measurement != "" {
+				return true
+			}
+		}
+		return false
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if attestedPeer(addrA, "node-b") && attestedPeer(addrB, "node-a") {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !attestedPeer(addrA, "node-b") || !attestedPeer(addrB, "node-a") {
+		t.Fatal("daemons never discovered and attested each other through gossip")
+	}
+
+	// Both daemons serve clients after the join.
 	if err := runClient(env, addrA, "travel plans", 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := runClient(env, addrB, "travel plans", 1, 1, 1); err != nil {
 		t.Fatal(err)
+	}
+
+	// The view mode renders the snapshot.
+	var buf strings.Builder
+	if err := runView(&buf, addrA); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "node-b") || !strings.Contains(out, "ATTESTED") {
+		t.Fatalf("view rendering missing peer table:\n%s", out)
+	}
+}
+
+// TestNoSeedReachable: a daemon whose every bootstrap seed is down must
+// exit non-zero with a clear message, not serve an empty view.
+func TestNoSeedReachable(t *testing.T) {
+	env := newAttestationEnv("seedless")
+	err := runNode(env, nodeConfig{
+		listen:    "127.0.0.1:0",
+		id:        "orphan",
+		seed:      1,
+		bootstrap: []string{"127.0.0.1:1"}, // nothing listens there
+	}, nil, nil)
+	if err == nil {
+		t.Fatal("daemon served with no reachable seed")
+	}
+	if !errors.Is(err, nettrans.ErrNoSeed) && !strings.Contains(err.Error(), "no bootstrap seed reachable") {
+		t.Fatalf("error should name the seed failure, got: %v", err)
 	}
 }

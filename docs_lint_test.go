@@ -1,0 +1,114 @@
+package cyclosa
+
+// Documentation lint, run as part of the normal test suite (and as an
+// explicit CI step): every internal package must carry package godoc, and
+// the relative links in the top-level documents must resolve. Docs drift is
+// a build failure, not a review nit.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// packageDirs returns every directory under root that contains non-test Go
+// files of a non-test package.
+func packageDirs(t *testing.T, root string) []string {
+	t.Helper()
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		matches, err := filepath.Glob(filepath.Join(path, "*.go"))
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			if !strings.HasSuffix(m, "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+// TestDocsLintPackageGodoc fails if any internal package lacks a package
+// comment (`// Package <name> ...`) on a non-test file.
+func TestDocsLintPackageGodoc(t *testing.T) {
+	for _, dir := range packageDirs(t, "internal") {
+		name := filepath.Base(dir)
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			raw, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(string(raw), "\n// Package "+name+" ") ||
+				strings.HasPrefix(string(raw), "// Package "+name+" ") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("package %s has no package godoc (want a `// Package %s ...` comment on a non-test file, ideally doc.go)", dir, name)
+		}
+	}
+}
+
+// mdLink matches inline markdown links; the capture is the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLintLinksResolve checks that relative links in the top-level
+// documents point at files that exist.
+func TestDocsLintLinksResolve(t *testing.T) {
+	for _, doc := range []string{"README.md", "ARCHITECTURE.md"} {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s must exist: %v", doc, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(filepath.Dir(doc), target)); err != nil {
+				t.Errorf("%s links to %q, which does not resolve: %v", doc, m[1], err)
+			}
+		}
+	}
+}
+
+// TestDocsLintArchitectureLinked: the README must link ARCHITECTURE.md —
+// the map is useless if the front door doesn't point at it.
+func TestDocsLintArchitectureLinked(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "ARCHITECTURE.md") {
+		t.Error("README.md does not link ARCHITECTURE.md")
+	}
+}

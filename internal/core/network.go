@@ -71,15 +71,14 @@ type NetworkOptions struct {
 // and accounted rather than slept, so large deployments simulate quickly.
 //
 // The hot path (forward) is safe for concurrent use by many client
-// goroutines and avoids global locks: node and order maps are immutable
-// after construction, the pair/session map is sharded across
-// pairShardCount locks, the request counter is atomic, and liveness is a
-// read-mostly RWMutex. Kill, Alive, StartGossip and StopGossip may be
-// called while forwards are in flight.
+// goroutines and avoids global locks: the member set is a copy-on-write
+// snapshot read lock-free on every forward (Join/Leave swap in a new copy),
+// the pair/session map is sharded across pairShardCount locks, the request
+// counter is atomic, and liveness is a read-mostly RWMutex. Kill, Alive,
+// Join, Leave, StartGossip and StopGossip may be called while forwards are
+// in flight.
 type Network struct {
 	// Immutable after NewNetwork returns.
-	nodes          map[string]*Node
-	order          []string
 	engine         Backend
 	model          *transport.Model
 	ias            *enclave.IAS
@@ -88,6 +87,20 @@ type Network struct {
 	clientSendCost time.Duration
 	pairSeed       maphash.Seed
 	conduit        transport.Conduit
+
+	// members is the copy-on-write node set: forwards read it lock-free,
+	// Join/Leave (serialized by joinMu) swap in a new copy. The zero-cost
+	// read is what keeps the hot path unchanged from the immutable era.
+	members atomic.Pointer[memberSet]
+	joinMu  sync.Mutex
+	nodeSeq int // nodes ever created; seeds joined-node randomness (joinMu)
+
+	// Retained construction parameters so joined nodes are built like the
+	// originals.
+	seed             int64
+	analyzerFor      func(nodeID string) *sensitivity.Analyzer
+	tableSize        int
+	bootstrapQueries []string
 
 	// deadMu guards dead: written by Kill, read on every forward.
 	deadMu sync.RWMutex
@@ -101,6 +114,12 @@ type Network struct {
 	gossipMu   sync.Mutex
 	gossipStop chan struct{}
 	gossipDone chan struct{}
+}
+
+// memberSet is one immutable snapshot of the node set.
+type memberSet struct {
+	nodes map[string]*Node
+	order []string
 }
 
 type pairKey struct{ client, relay string }
@@ -147,15 +166,18 @@ func NewNetwork(opts NetworkOptions) (*Network, error) {
 	rpsNet := rps.NewNetwork(opts.Nodes, opts.RPSConfig, opts.Seed)
 
 	net := &Network{
-		nodes:          make(map[string]*Node, opts.Nodes),
-		dead:           make(map[string]struct{}),
-		engine:         opts.Backend,
-		model:          opts.LatencyModel,
-		ias:            ias,
-		verifier:       verifier,
-		rpsNet:         rpsNet,
-		clientSendCost: opts.ClientSendCost,
-		pairSeed:       maphash.MakeSeed(),
+		dead:             make(map[string]struct{}),
+		engine:           opts.Backend,
+		model:            opts.LatencyModel,
+		ias:              ias,
+		verifier:         verifier,
+		rpsNet:           rpsNet,
+		clientSendCost:   opts.ClientSendCost,
+		pairSeed:         maphash.MakeSeed(),
+		seed:             opts.Seed,
+		analyzerFor:      opts.AnalyzerFor,
+		tableSize:        opts.TableSize,
+		bootstrapQueries: opts.BootstrapQueries,
 	}
 	for i := range net.pairShards {
 		net.pairShards[i].m = make(map[pairKey]*pairState)
@@ -165,54 +187,183 @@ func NewNetwork(opts NetworkOptions) (*Network, error) {
 		net.conduit = opts.Conduit(directConduit{net})
 	}
 
+	members := &memberSet{nodes: make(map[string]*Node, opts.Nodes)}
 	for i, id := range rpsNet.NodeIDs() {
-		platform, err := enclave.NewPlatform(fmt.Sprintf("sgx-%s", id), ias)
-		if err != nil {
-			return nil, fmt.Errorf("platform for %s: %w", id, err)
-		}
-		var analyzer *sensitivity.Analyzer
-		if opts.AnalyzerFor != nil {
-			analyzer = opts.AnalyzerFor(string(id))
-		}
-		node, err := newNode(NodeOptions{
-			ID:        string(id),
-			Analyzer:  analyzer,
-			TableSize: opts.TableSize,
-			Seed:      opts.Seed + int64(i)*104729,
-		}, platform, verifier, rpsNet.Node(id), opts.Backend, net)
+		node, err := net.buildNode(string(id), int64(i))
 		if err != nil {
 			return nil, err
 		}
-		if len(opts.BootstrapQueries) > 0 {
-			node.BootstrapTable(opts.BootstrapQueries)
-		}
-		net.nodes[string(id)] = node
-		net.order = append(net.order, string(id))
+		members.nodes[string(id)] = node
+		members.order = append(members.order, string(id))
 	}
+	net.members.Store(members)
+	net.nodeSeq = opts.Nodes
 
 	rpsNet.Run(opts.GossipRounds)
 	return net, nil
+}
+
+// buildNode creates one protocol node (platform, enclave, handshaker,
+// analyzer, table) wired to the overlay node of the same id.
+func (net *Network) buildNode(id string, seq int64) (*Node, error) {
+	platform, err := enclave.NewPlatform(fmt.Sprintf("sgx-%s", id), net.ias)
+	if err != nil {
+		return nil, fmt.Errorf("platform for %s: %w", id, err)
+	}
+	var analyzer *sensitivity.Analyzer
+	if net.analyzerFor != nil {
+		analyzer = net.analyzerFor(id)
+	}
+	node, err := newNode(NodeOptions{
+		ID:        id,
+		Analyzer:  analyzer,
+		TableSize: net.tableSize,
+		Seed:      net.seed + seq*104729,
+	}, platform, net.verifier, net.rpsNet.Node(rps.NodeID(id)), net.engine, net)
+	if err != nil {
+		return nil, err
+	}
+	if len(net.bootstrapQueries) > 0 {
+		node.BootstrapTable(net.bootstrapQueries)
+	}
+	return node, nil
+}
+
+// Join admits a new node into a running deployment: a fresh platform
+// registers with the IAS, the overlay node bootstraps its view from a
+// random sample of current members (the public-repository bootstrap of
+// §V-D) and converges through gossip, and relay selection starts sampling
+// it as soon as its descriptor spreads. Safe to call while forwards are in
+// flight.
+func (net *Network) Join(id string) (*Node, error) {
+	net.joinMu.Lock()
+	defer net.joinMu.Unlock()
+	cur := net.members.Load()
+	if _, exists := cur.nodes[id]; exists {
+		return nil, fmt.Errorf("core: node %s already a member", id)
+	}
+	net.rpsNet.Add(rps.NodeID(id), nil)
+	node, err := net.buildNode(id, int64(net.nodeSeq))
+	if err != nil {
+		net.rpsNet.Remove(rps.NodeID(id))
+		return nil, err
+	}
+	net.nodeSeq++
+
+	next := &memberSet{
+		nodes: make(map[string]*Node, len(cur.nodes)+1),
+		order: make([]string, 0, len(cur.order)+1),
+	}
+	for k, v := range cur.nodes {
+		next.nodes[k] = v
+	}
+	next.nodes[id] = node
+	next.order = append(next.order, cur.order...)
+	next.order = append(next.order, id)
+	net.members.Store(next)
+
+	net.deadMu.Lock()
+	delete(net.dead, id) // a re-join sheds any stale dead mark
+	net.deadMu.Unlock()
+	return node, nil
+}
+
+// Leave removes a node gracefully: it stops gossiping, the survivors age
+// its descriptors out of their views, forwards addressed to it fail as
+// unavailability (retry picks a live relay), and every attested pair it was
+// part of is discarded. Unlike Kill, Leave frees the node's state. Safe to
+// call while forwards are in flight.
+func (net *Network) Leave(id string) {
+	net.joinMu.Lock()
+	cur := net.members.Load()
+	node, exists := cur.nodes[id]
+	if !exists {
+		net.joinMu.Unlock()
+		return
+	}
+	next := &memberSet{
+		nodes: make(map[string]*Node, len(cur.nodes)-1),
+		order: make([]string, 0, len(cur.order)-1),
+	}
+	for k, v := range cur.nodes {
+		if k != id {
+			next.nodes[k] = v
+		}
+	}
+	for _, k := range cur.order {
+		if k != id {
+			next.order = append(next.order, k)
+		}
+	}
+	net.members.Store(next)
+	net.joinMu.Unlock()
+
+	net.rpsNet.Remove(rps.NodeID(id))
+	net.deadMu.Lock()
+	delete(net.dead, id)
+	net.deadMu.Unlock()
+	net.purgePairs(id, next)
+	// The departed node's own responder halves are not in any pair state;
+	// close them too so session observers release their bookkeeping.
+	node.closeSessions()
+}
+
+// purgePairs discards every pair state involving a departed node, closing
+// the session halves so observers release their bookkeeping. members is the
+// post-departure set (used to drop responder sessions the departed client
+// held at surviving relays).
+func (net *Network) purgePairs(id string, members *memberSet) {
+	for si := range net.pairShards {
+		shard := &net.pairShards[si]
+		shard.mu.Lock()
+		var purged []pairKey
+		var states []*pairState
+		for key, ps := range shard.m {
+			if key.client == id || key.relay == id {
+				purged = append(purged, key)
+				states = append(states, ps)
+				delete(shard.m, key)
+			}
+		}
+		shard.mu.Unlock()
+		for i, ps := range states {
+			ps.mu.Lock()
+			if ps.client != nil {
+				ps.client.Close()
+				ps.client = nil
+			}
+			ps.mu.Unlock()
+			if key := purged[i]; key.client == id {
+				if relay := members.nodes[key.relay]; relay != nil {
+					relay.dropSession(id)
+				}
+			}
+		}
+	}
 }
 
 // BootstrapFromTrending fills every node's table with n queries from a
 // trending source over the universe.
 func (net *Network) BootstrapFromTrending(uni *queries.Universe, n int, seed int64) {
 	src := queries.NewTrendingSource(uni, seed)
-	for _, id := range net.order {
-		net.nodes[id].BootstrapTable(src.Batch(n))
+	m := net.members.Load()
+	for _, id := range m.order {
+		m.nodes[id].BootstrapTable(src.Batch(n))
 	}
 }
 
-// Node returns the node with the given ID, or nil. The node set is fixed at
-// construction, so no locking is needed.
+// Node returns the node with the given ID, or nil. The member set is a
+// copy-on-write snapshot, so the lookup is lock-free.
 func (net *Network) Node(id string) *Node {
-	return net.nodes[id]
+	return net.members.Load().nodes[id]
 }
 
-// NodeIDs returns all node IDs in stable order.
+// NodeIDs returns all node IDs in stable order (join order for members
+// admitted after construction).
 func (net *Network) NodeIDs() []string {
-	out := make([]string, len(net.order))
-	copy(out, net.order)
+	order := net.members.Load().order
+	out := make([]string, len(order))
+	copy(out, order)
 	return out
 }
 
@@ -288,10 +439,10 @@ type directConduit struct{ net *Network }
 var _ transport.Conduit = directConduit{}
 
 // Deliver hands one encrypted record to the relay and returns its encrypted
-// response. The node set is immutable after construction, so the lookup is
-// lock-free; an unknown relay is a caller bug surfaced as unavailability.
+// response. The member-set lookup is a lock-free snapshot read; an unknown
+// relay (never a member, or departed via Leave) surfaces as unavailability.
 func (d directConduit) Deliver(from, to string, payload []byte, now time.Time) ([]byte, time.Duration, error) {
-	relay := d.net.nodes[to]
+	relay := d.net.members.Load().nodes[to]
 	if relay == nil {
 		return nil, 0, fmt.Errorf("%w: unknown relay %s", ErrRelayUnavailable, to)
 	}
@@ -319,7 +470,7 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 	if !net.Alive(relayID) {
 		return forwardResponse{}, 0, ErrRelayUnavailable
 	}
-	relay := net.nodes[relayID]
+	relay := net.members.Load().nodes[relayID]
 	if relay == nil {
 		return forwardResponse{}, 0, fmt.Errorf("%w: unknown relay %s", ErrRelayUnavailable, relayID)
 	}
@@ -332,6 +483,15 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 	// lock acquisition — one lock round trip per forward.
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
+	// Re-check membership now that the pair entry is published: if Leave
+	// completed between the snapshot read above and pairEntry, its purge has
+	// already scanned the shard and missed this entry — attesting here would
+	// leak a session nothing ever closes. If instead the relay is still a
+	// member, any later Leave purges this entry (and blocks on ps.mu until
+	// this exchange finishes), so the session is always discarded cleanly.
+	if net.members.Load().nodes[relayID] != relay {
+		return forwardResponse{}, 0, ErrRelayUnavailable
+	}
 	if err := net.ensurePairLocked(ps, client, relay); err != nil {
 		return forwardResponse{}, 0, err
 	}

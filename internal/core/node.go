@@ -351,6 +351,19 @@ func (n *Node) admitSession(peer string, sess *securechan.Session) {
 	n.state.sessions[peer] = &relaySession{sess: sess}
 }
 
+// closeSessions discards and closes every responder-side session the node
+// holds. Called when the node leaves the deployment, so per-session
+// observers (the simnet nonce checker) release their bookkeeping — the
+// same both-halves-closed rule breakPair follows.
+func (n *Node) closeSessions() {
+	n.state.mu.Lock()
+	defer n.state.mu.Unlock()
+	for peer, rs := range n.state.sessions {
+		rs.sess.Close()
+		delete(n.state.sessions, peer)
+	}
+}
+
 // dropSession discards and closes the responder-side session with peer
 // (called by the network when a pair breaks); the next contact from peer
 // re-attests.

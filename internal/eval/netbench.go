@@ -9,6 +9,7 @@ import (
 
 	"cyclosa/internal/core"
 	"cyclosa/internal/nettrans"
+	"cyclosa/internal/rps"
 	"cyclosa/internal/transport"
 )
 
@@ -80,8 +81,10 @@ func RunNetBench(opts NetBenchOptions) (*NetBenchResult, error) {
 		return nil, fmt.Errorf("direct phase: %w", err)
 	}
 
-	// Phase 2: the same exchange over loopback TCP, serial.
-	hook, cleanup, hookErr := withTCPStack()
+	// Phase 2: the same exchange over loopback TCP, serial. The relay is
+	// discovered through the real join flow (bootstrap gossip exchange into
+	// the membership directory), not a static address map.
+	hook, cleanup, hookErr := withTCPStack(string(rps.Name(1)))
 	tcpNs, err := measureSerial(core.NetworkOptions{
 		Nodes:   2,
 		Seed:    opts.Seed,
@@ -114,47 +117,89 @@ func RunNetBench(opts NetBenchOptions) (*NetBenchResult, error) {
 	}, nil
 }
 
-// tcpStack is the loopback data plane of one benchmark phase.
+// tcpStack is the loopback data plane of one benchmark phase: a
+// gossip-serving relay host and a client whose resolver learned the relay
+// through the real join flow (bootstrap exchange into the membership
+// directory), not a static peer list.
 type tcpStack struct {
-	server *nettrans.Server
-	tcp    *nettrans.TCPConduit
+	server    *nettrans.Server
+	serverMem *nettrans.Membership
+	clientMem *nettrans.Membership
+	tcp       *nettrans.TCPConduit
 }
 
 func (s *tcpStack) close() {
 	if s.tcp != nil {
 		s.tcp.Close()
 	}
+	if s.clientMem != nil {
+		s.clientMem.Stop()
+	}
+	if s.serverMem != nil {
+		s.serverMem.Stop()
+	}
 	if s.server != nil {
 		s.server.Close()
 	}
 }
 
-// newTCPStack starts a loopback server over the direct conduit and a
-// conduit resolving every relay to it.
-func newTCPStack(direct transport.Conduit) (*tcpStack, error) {
-	srv := nettrans.NewServer(nettrans.ServerConfig{ID: "bench-relay-host", Handler: direct})
+// newTCPStack starts a loopback relay server (data plane over the direct
+// conduit, gossip plane under the relay's overlay identity) and a client
+// membership that joins it via -bootstrap semantics; the conduit resolves
+// relays through the resulting attestation directory.
+func newTCPStack(direct transport.Conduit, relayID string) (*tcpStack, error) {
+	serverMem := nettrans.NewMembership(nettrans.MembershipConfig{
+		Self:       rps.Descriptor{ID: rps.NodeID(relayID)},
+		PoolConfig: nettrans.PoolConfig{ID: relayID},
+	})
+	srv := nettrans.NewServer(nettrans.ServerConfig{ID: "bench-relay-host", Handler: direct, Membership: serverMem})
 	if err := srv.Start("127.0.0.1:0"); err != nil {
+		serverMem.Stop()
 		return nil, err
 	}
 	addr := srv.Addr().String()
+	serverMem.SetAdvertise(addr)
+
+	// The client joins the way a daemon does: one bootstrap exchange with
+	// the seed populates its view and directory; Resolve then serves the
+	// data plane. No Attest func — the bench measures transport, and the
+	// conduit's forwards run the full attested securechan exchange anyway.
+	clientMem := nettrans.NewMembership(nettrans.MembershipConfig{
+		Self:       rps.Descriptor{ID: "bench-client"},
+		Bootstrap:  []string{addr},
+		PoolConfig: nettrans.PoolConfig{ID: "bench-client"},
+	})
+	if err := clientMem.Bootstrap(); err != nil {
+		clientMem.Stop()
+		serverMem.Stop()
+		srv.Close()
+		return nil, fmt.Errorf("join via bootstrap seed: %w", err)
+	}
+	if _, ok := clientMem.Resolve(relayID); !ok {
+		clientMem.Stop()
+		serverMem.Stop()
+		srv.Close()
+		return nil, fmt.Errorf("bootstrap exchange did not yield relay %s in the directory", relayID)
+	}
 	tcp := nettrans.NewTCPConduit(nettrans.ConduitConfig{
-		Resolve:    func(string) (string, bool) { return addr, true },
+		Resolve:    clientMem.Resolve,
 		PoolConfig: nettrans.PoolConfig{ID: "bench-pool", RequestTimeout: 30 * time.Second},
 	})
-	return &tcpStack{server: srv, tcp: tcp}, nil
+	return &tcpStack{server: srv, serverMem: serverMem, clientMem: clientMem, tcp: tcp}, nil
 }
 
 // withTCPStack returns a NetworkOptions.Conduit hook that builds the
-// loopback TCP stack over the network's direct conduit, plus the matching
-// teardown and an error probe. NewNetwork's hook has no error path, so a
-// failed listen is parked in the probe — callers MUST check it, or a bench
-// phase would silently measure the in-process path and label it TCP.
-func withTCPStack() (hook func(transport.Conduit) transport.Conduit, cleanup func(), hookErr func() error) {
+// loopback TCP stack over the network's direct conduit (relayID is the
+// overlay node the gossip plane advertises), plus the matching teardown and
+// an error probe. NewNetwork's hook has no error path, so a failed listen
+// or join is parked in the probe — callers MUST check it, or a bench phase
+// would silently measure the in-process path and label it TCP.
+func withTCPStack(relayID string) (hook func(transport.Conduit) transport.Conduit, cleanup func(), hookErr func() error) {
 	var s *tcpStack
 	var err error
 	hook = func(direct transport.Conduit) transport.Conduit {
 		var stack *tcpStack
-		stack, err = newTCPStack(direct)
+		stack, err = newTCPStack(direct, relayID)
 		if err != nil {
 			return direct
 		}
@@ -198,7 +243,10 @@ func measureSerial(netOpts core.NetworkOptions, hook func(transport.Conduit) tra
 // measureConcurrent times opts.Concurrency clients multiplexing forwards to
 // one relay over the shared TCP pool, returning aggregate ops/s.
 func measureConcurrent(opts NetBenchOptions, query string) (float64, error) {
-	hook, cleanup, hookErr := withTCPStack()
+	// The relay is the highest-numbered node (ids are sorted); its identity
+	// is known before the network exists because overlay names are
+	// deterministic.
+	hook, cleanup, hookErr := withTCPStack(string(rps.Name(opts.Concurrency)))
 	defer cleanup()
 	net, err := core.NewNetwork(core.NetworkOptions{
 		Nodes:   opts.Concurrency + 1,

@@ -31,6 +31,16 @@
 //	query  := encrypted record               — service query (session AEAD)
 //	answer := encrypted record               — service answer (session AEAD)
 //	goaway := (empty)                        — server draining, stop opening streams
+//	gossip := view buffer (rps wire format)  — membership exchange, both directions
+//	view   := (empty) out, JSON ViewSnapshot back           — introspection
+//
+// A gossip frame's payload is an rps view buffer
+// (`ver | count | {id | addr | age}*`, see internal/rps/wire.go): the
+// initiator sends its exchange buffer, the passive side replies with its
+// own on the same stream. gossip and view were added after version 1
+// shipped as a backward-additive extension — the header layout is
+// unchanged and a peer that predates them rejects the unknown type (and
+// the connection) rather than misparsing the stream.
 //
 // # Components
 //
@@ -65,4 +75,20 @@
 // between the two, in the engine dispatch. Connection teardown closes the
 // session half on each side, so a dropped TCP connection never leaks nonce
 // state into a reconnect: the next connection re-attests from scratch.
+//
+// # Membership: the gossip control plane
+//
+// Membership turns a daemon into a self-organizing overlay node: an
+// internal/rps peer-sampling node whose exchange buffers travel as gossip
+// frames over the connection pool, plus an attestation directory that
+// re-attests every peer entering the view (AttestFunc; verification
+// failures — ErrAttestRejected — blacklist the peer, transport failures
+// merely evict it with re-entry allowed) and resolves node IDs to verified
+// addresses for the data plane (Membership.Resolve plugs straight into
+// ConduitConfig.Resolve). Bootstrap joins through seed addresses only and
+// fails with ErrNoSeed when none answers; a view emptied by failures
+// re-bootstraps from the same seeds. Blacklisted peers are
+// gossip-suppressed end to end: never re-admitted on merge, never
+// forwarded in buffers, and their inbound exchanges are refused. FetchView
+// is the matching introspection client (`cyclosa-node -mode view`).
 package nettrans

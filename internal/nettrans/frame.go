@@ -32,10 +32,24 @@ const (
 	frameQuery  frameType = 6
 	frameAnswer frameType = 7
 	frameGoaway frameType = 8
+	// frameGossip carries one membership view-exchange buffer (rps view wire
+	// format) in each direction: the initiator's buffer out, the passive
+	// side's reply back on the same stream. Added in PR 5 as a
+	// backward-additive extension: the header layout is unchanged, a peer
+	// that predates the type rejects the frame (and the connection) rather
+	// than misparsing it.
+	frameGossip frameType = 9
+	// frameView is the membership introspection exchange: empty request out,
+	// JSON ViewSnapshot back on the same stream.
+	frameView frameType = 10
 
 	// frameTypeMax bounds the known types; anything above is rejected.
-	frameTypeMax = frameGoaway
+	frameTypeMax = frameView
 )
+
+// maxGossipLen bounds a gossip or view frame payload: a view buffer is
+// ViewSize/2 small descriptors, and a snapshot a few hundred bytes per peer.
+const maxGossipLen = 256 << 10
 
 // maxRecordLen bounds the encrypted record carried inside a data/resp/query/
 // answer frame — the securechan record bound.

@@ -392,7 +392,7 @@ func (pc *poolConn) readLoop() {
 			return
 		}
 		switch h.typ {
-		case frameResp, frameAnswer, frameErr:
+		case frameResp, frameAnswer, frameErr, frameGossip, frameView:
 			if !pc.st.deliver(h.stream, callResult{hdr: h, buf: buf}) {
 				putFrame(buf) // waiter timed out: drop the late answer
 			}

@@ -22,6 +22,10 @@ type ServerConfig struct {
 	// Service serves the attested query plane (attest/query frames). nil
 	// rejects them (conduit-only server).
 	Service *RelayService
+	// Membership serves the gossip control plane (gossip/view frames): the
+	// passive half of view exchanges and the introspection snapshot. nil
+	// rejects both (data-plane-only server).
+	Membership *Membership
 	// MaxFrame bounds a frame payload (default DefaultMaxFrame).
 	MaxFrame int
 	// MaxInFlight bounds concurrently dispatched exchanges across all
@@ -308,6 +312,58 @@ func (s *Server) serveConn(nc net.Conn) {
 					return
 				}
 				continue
+			}
+		case frameGossip:
+			// The passive half of a view exchange is a few map merges; it
+			// runs inline rather than occupying a dispatch slot.
+			if len(*buf) > maxGossipLen {
+				putFrame(buf)
+				if fc.writeErrFrame(h.stream, errCodeRejected, "gossip payload exceeds limit") != nil {
+					return
+				}
+				continue
+			}
+			if s.cfg.Membership == nil {
+				putFrame(buf)
+				if fc.writeErrFrame(h.stream, errCodeRejected, "no membership plane") != nil {
+					return
+				}
+				continue
+			}
+			reply := getFrame()
+			out, gerr := s.cfg.Membership.HandleGossip(peer, *buf, (*reply)[:0])
+			putFrame(buf)
+			if gerr != nil {
+				putFrame(reply)
+				s.cfg.Logf("nettrans: %s: gossip: %v", nc.RemoteAddr(), gerr)
+				if fc.writeErrFrame(h.stream, errCodeRejected, gerr.Error()) != nil {
+					return
+				}
+				continue
+			}
+			*reply = out
+			werr := fc.writeFrame(frameGossip, h.stream, out)
+			putFrame(reply)
+			if werr != nil {
+				return
+			}
+		case frameView:
+			putFrame(buf)
+			if s.cfg.Membership == nil {
+				if fc.writeErrFrame(h.stream, errCodeRejected, "no membership plane") != nil {
+					return
+				}
+				continue
+			}
+			snap, merr := s.cfg.Membership.marshalSnapshot()
+			if merr != nil {
+				if fc.writeErrFrame(h.stream, errCodeRejected, merr.Error()) != nil {
+					return
+				}
+				continue
+			}
+			if fc.writeFrame(frameView, h.stream, snap) != nil {
+				return
 			}
 		case frameGoaway, frameHello:
 			putFrame(buf) // tolerated mid-stream; nothing to do

@@ -260,9 +260,9 @@ func DialService(addr string, hs *securechan.Handshaker, cfg ClientConfig) (*Cli
 		putFrame(buf)
 		nc.Close()
 		if derr != nil {
-			return nil, fmt.Errorf("nettrans: attestation rejected")
+			return nil, ErrAttestRejected
 		}
-		return nil, fmt.Errorf("nettrans: attestation rejected: %s", reason)
+		return nil, fmt.Errorf("%w: %s", ErrAttestRejected, reason)
 	}
 	if h.typ != frameAttest {
 		putFrame(buf)
@@ -273,12 +273,15 @@ func DialService(addr string, hs *securechan.Handshaker, cfg ClientConfig) (*Cli
 	putFrame(buf)
 	if err != nil {
 		nc.Close()
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrAttestRejected, err)
 	}
 	sess, err := hs.Establish(peerMsg, true)
 	if err != nil {
+		// The transport worked; the peer's evidence did not verify. Callers
+		// (the membership directory) blacklist on this, merely retry on
+		// transport failures.
 		nc.Close()
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrAttestRejected, err)
 	}
 
 	c := &Client{

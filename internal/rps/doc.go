@@ -1,0 +1,47 @@
+// Package rps implements gossip-based random peer sampling, the peer
+// discovery protocol CYCLOSA relies on (§V-E). It follows the generic
+// protocol of Jelasity et al., "Gossip-based peer sampling" (TOCS 2007):
+// every node maintains a small partial view of node descriptors; each round
+// it exchanges half its view with the oldest-known peer; the healer
+// parameter (H) ages out descriptors of dead nodes and the swapper
+// parameter (S) keeps the overlay random. The continuously changing random
+// topology gives each CYCLOSA node an unbiased sample of alive peers to use
+// as relays.
+//
+// # The transport seam
+//
+// The package is transport-agnostic: a Node exposes the active and passive
+// halves of the exchange as pure functions over descriptor buffers
+// (InitiateExchange / HandleExchange / CompleteExchange, plus FailExchange
+// and Tick for the driver's bookkeeping), and a driver moves the buffers.
+// Three drivers exist:
+//
+//   - Network (this package): the deterministic in-process driver used by
+//     core.Network and the evaluation — direct function calls, seeded
+//     randomness, optional message loss (SetDropRate) and dynamic
+//     membership (Add / Remove / Kill).
+//   - simnet.MembershipChurn: the chaos driver — joins, leaves, partitions
+//     and drops from a single seed, with the blacklist re-entry invariant
+//     checked every round.
+//   - nettrans.Membership: the production driver — buffers travel as gossip
+//     frames over TCP, and an attestation directory verifies every peer
+//     that enters the view.
+//
+// # Descriptors and addresses
+//
+// A Descriptor carries identity, transport address and age. Addresses
+// gossip along with identities, so a node can dial peers it has never met —
+// this is what replaces static peer lists in the networked deployment. The
+// view wire format used by the gossip frames is defined in wire.go
+// (AppendView / DecodeView): `ver | count | {id | addr | age}*`, with the
+// sender's own fresh descriptor first by convention.
+//
+// # Blacklisting is gossip suppression
+//
+// Blacklist removes a peer from the view and refuses to re-admit it on any
+// later merge. Because exchange buffers are built from the view, a
+// blacklisted peer is also never forwarded to others: the node suppresses
+// the descriptor, it does not merely ignore it. The simnet membership
+// invariant ("a blacklisted relay never re-enters a view") pins this
+// behaviour under churn.
+package rps

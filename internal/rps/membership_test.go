@@ -1,0 +1,153 @@
+package rps
+
+import "testing"
+
+// TestSeededBootstrapConverges: an overlay where only 2 seeds are mutually
+// known must still become fully connected through gossip.
+func TestSeededBootstrapConverges(t *testing.T) {
+	net := NewSeededNetwork(48, 2, Config{}, 11)
+	net.Run(25)
+	if got := net.Reachable(Name(0)); got != 48 {
+		t.Fatalf("after 25 rounds only %d/48 nodes reachable from seed", got)
+	}
+	for _, id := range net.NodeIDs() {
+		if vs := net.Node(id).ViewSize(); vs == 0 {
+			t.Fatalf("node %s has an empty view after convergence", id)
+		}
+	}
+}
+
+// TestAddJoinsThroughGossip: a node added mid-run becomes reachable and
+// fills its view from the overlay.
+func TestAddJoinsThroughGossip(t *testing.T) {
+	net := NewNetwork(16, Config{}, 5)
+	net.Run(10)
+	joined := Name(100)
+	net.Add(joined, []NodeID{Name(0), Name(1)}) // bootstrap from two seeds only
+	net.Run(15)
+	deg := net.InDegrees()
+	if deg[joined] == 0 {
+		t.Fatal("joined node never entered any view")
+	}
+	if net.Node(joined).ViewSize() < 4 {
+		t.Fatalf("joined node's view stayed tiny: %d", net.Node(joined).ViewSize())
+	}
+	if got, want := net.Reachable(joined), 17; got != want {
+		t.Fatalf("reachable from joined node: %d, want %d", got, want)
+	}
+}
+
+// TestRemoveHealsOverlay: a removed node's descriptors age out of the
+// survivors' views.
+func TestRemoveHealsOverlay(t *testing.T) {
+	net := NewNetwork(16, Config{}, 7)
+	net.Run(10)
+	gone := Name(3)
+	net.Remove(gone)
+	net.Run(30)
+	if net.Node(gone) != nil {
+		t.Fatal("removed node still resolvable")
+	}
+	for _, id := range net.NodeIDs() {
+		for _, d := range net.Node(id).View() {
+			if d.ID == gone {
+				t.Fatalf("node %s still holds the removed node after 30 heal rounds", id)
+			}
+		}
+	}
+}
+
+// TestDropRateDeterminism: the same seed with the same drop rate yields the
+// same views.
+func TestDropRateDeterminism(t *testing.T) {
+	run := func() map[NodeID][]Descriptor {
+		net := NewSeededNetwork(24, 2, Config{}, 99)
+		net.SetDropRate(0.1)
+		net.Run(20)
+		out := make(map[NodeID][]Descriptor)
+		for _, id := range net.NodeIDs() {
+			out[id] = net.Node(id).View()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for id, va := range a {
+		vb := b[id]
+		if len(va) != len(vb) {
+			t.Fatalf("node %s: view size %d vs %d across identical runs", id, len(va), len(vb))
+		}
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("node %s: view entry %d differs across identical runs", id, i)
+			}
+		}
+	}
+}
+
+// TestBlacklistSuppressionInExchanges: a blacklisted peer neither re-enters
+// the view nor is forwarded to others.
+func TestBlacklistSuppressionInExchanges(t *testing.T) {
+	n := NewNode("self", []NodeID{"a", "b", "bad"}, Config{Seed: 1})
+	n.Blacklist("bad")
+	if n.IsBlacklisted("a") || !n.IsBlacklisted("bad") {
+		t.Fatal("IsBlacklisted wrong")
+	}
+	n.Merge([]Descriptor{{ID: "bad", Age: 0}, {ID: "c", Age: 0}})
+	for _, d := range n.View() {
+		if d.ID == "bad" {
+			t.Fatal("blacklisted peer re-entered the view via Merge")
+		}
+	}
+	for i := 0; i < 20; i++ {
+		for _, d := range n.InitiateExchange() {
+			if d.ID == "bad" {
+				t.Fatal("blacklisted peer forwarded in an exchange buffer")
+			}
+		}
+	}
+	if got := n.BlacklistedIDs(); len(got) != 1 || got[0] != "bad" {
+		t.Fatalf("BlacklistedIDs = %v", got)
+	}
+}
+
+// TestAddrGossip: addresses travel with descriptors and survive merges; a
+// fresher address-less descriptor inherits the known address.
+func TestAddrGossip(t *testing.T) {
+	a := NewNode("a", nil, Config{Seed: 1, Addr: "10.0.0.1:1"})
+	b := NewNode("b", []NodeID{"a"}, Config{Seed: 2, Addr: "10.0.0.2:2"})
+	if a.Addr() != "10.0.0.1:1" {
+		t.Fatalf("Addr() = %q", a.Addr())
+	}
+	// b initiates with a: a learns b's descriptor including its address.
+	buf := b.InitiateExchange()
+	reply := a.HandleExchange(buf)
+	b.CompleteExchange(reply)
+	found := false
+	for _, d := range a.View() {
+		if d.ID == "b" {
+			found = true
+			if d.Addr != "10.0.0.2:2" {
+				t.Fatalf("b's address lost in exchange: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("a never learned b")
+	}
+	// A fresher descriptor without an address must not erase the known one.
+	a.Merge([]Descriptor{{ID: "b", Age: 0}})
+	for _, d := range a.View() {
+		if d.ID == "b" && d.Addr != "10.0.0.2:2" {
+			t.Fatalf("address erased by address-less merge: %+v", d)
+		}
+	}
+	// SetAddr updates the advertised self descriptor.
+	a.SetAddr("10.9.9.9:9")
+	self := a.InitiateExchange()[0]
+	if self.ID != "a" || self.Addr != "10.9.9.9:9" {
+		t.Fatalf("self descriptor after SetAddr: %+v", self)
+	}
+	if d, ok := a.SelectPeerDescriptor(); !ok || d.ID == "" {
+		t.Fatalf("SelectPeerDescriptor: %+v ok=%v", d, ok)
+	}
+}

@@ -10,28 +10,56 @@ import (
 // gossip rounds across a set of nodes, delivering exchange buffers directly.
 // Node failures are modelled by marking nodes dead; exchanges with dead
 // nodes fail and the healer removes their descriptors over subsequent
-// rounds.
+// rounds. Membership is dynamic: Add admits a node mid-run (it converges
+// through gossip like a daemon joining from bootstrap seeds), Remove takes
+// one out and the survivors age its descriptors away.
 type Network struct {
 	mu    sync.Mutex
 	nodes map[NodeID]*Node
 	dead  map[NodeID]struct{}
 	rng   *rand.Rand
 	round int
+	seed  int64
+	cfg   Config
+	born  int // total nodes ever created; seeds node randomness uniquely
+	drop  float64
 }
 
 // NewNetwork creates an overlay of n nodes. Each node is bootstrapped with a
 // small random sample of other nodes, like the public-repository bootstrap
 // of §V-D.
 func NewNetwork(n int, cfg Config, seed int64) *Network {
+	return newNetwork(n, 0, cfg, seed)
+}
+
+// NewSeededNetwork creates an overlay of n nodes in which only the first
+// `seeds` nodes are mutually known at start; every other node's initial
+// view holds the seeds alone, the way a networked daemon starts from a
+// -bootstrap list. Convergence to a connected overlay happens through the
+// gossip rounds, not through construction — which is what the convergence
+// tests measure.
+func NewSeededNetwork(n, seeds int, cfg Config, seed int64) *Network {
+	if seeds < 1 {
+		seeds = 1
+	}
+	if seeds > n {
+		seeds = n
+	}
+	return newNetwork(n, seeds, cfg, seed)
+}
+
+func newNetwork(n, seeds int, cfg Config, seed int64) *Network {
 	rng := rand.New(rand.NewSource(seed))
 	ids := make([]NodeID, n)
 	for i := range ids {
-		ids[i] = NodeID(nodeName(i))
+		ids[i] = Name(i)
 	}
 	net := &Network{
 		nodes: make(map[NodeID]*Node, n),
 		dead:  make(map[NodeID]struct{}),
 		rng:   rng,
+		seed:  seed,
+		cfg:   cfg,
 	}
 	bootSize := cfg.ViewSize
 	if bootSize == 0 {
@@ -41,32 +69,99 @@ func NewNetwork(n int, cfg Config, seed int64) *Network {
 		bootSize = n - 1
 	}
 	for i, id := range ids {
-		perm := rng.Perm(n)
 		var boot []NodeID
-		for _, j := range perm {
-			if j == i {
-				continue
-			}
-			boot = append(boot, ids[j])
-			if len(boot) >= bootSize {
-				break
+		if seeds > 0 {
+			// Seeded bootstrap: everyone starts from the seed set (seeds
+			// know each other, and themselves are filtered by NewNode).
+			boot = append(boot, ids[:seeds]...)
+		} else {
+			perm := rng.Perm(n)
+			for _, j := range perm {
+				if j == i {
+					continue
+				}
+				boot = append(boot, ids[j])
+				if len(boot) >= bootSize {
+					break
+				}
 			}
 		}
 		nodeCfg := cfg
 		nodeCfg.Seed = seed + int64(i)*7919
 		net.nodes[id] = NewNode(id, boot, nodeCfg)
 	}
+	net.born = n
 	return net
 }
 
-func nodeName(i int) string {
+// Name returns the canonical identifier of the i-th overlay node
+// ("node0000", "node0001", ...). Exported so drivers outside the package
+// (benchmarks, resolvers) can name nodes without duplicating the format.
+func Name(i int) NodeID {
 	const digits = "0123456789"
 	buf := [8]byte{'n', 'o', 'd', 'e', '0', '0', '0', '0'}
 	for p := 7; p >= 4 && i > 0; p-- {
 		buf[p] = digits[i%10]
 		i /= 10
 	}
-	return string(buf[:])
+	return NodeID(buf[:])
+}
+
+// Add admits a new node mid-run, bootstrapped from the given peers (or, when
+// bootstrap is empty, from a random sample of current members — the
+// public-repository fallback). It returns the new node. Safe to call
+// between rounds while the overlay runs.
+func (net *Network) Add(id NodeID, bootstrap []NodeID) *Node {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if n := net.nodes[id]; n != nil {
+		return n
+	}
+	if len(bootstrap) == 0 {
+		ids := make([]NodeID, 0, len(net.nodes))
+		for nid := range net.nodes {
+			if _, dead := net.dead[nid]; !dead {
+				ids = append(ids, nid)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		net.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		boot := net.cfg.ViewSize
+		if boot == 0 {
+			boot = 16
+		}
+		if boot > len(ids) {
+			boot = len(ids)
+		}
+		bootstrap = ids[:boot]
+	}
+	nodeCfg := net.cfg
+	nodeCfg.Seed = net.seed + int64(net.born)*7919
+	net.born++
+	n := NewNode(id, bootstrap, nodeCfg)
+	net.nodes[id] = n
+	delete(net.dead, id) // a re-join sheds the dead mark
+	return n
+}
+
+// Remove takes a node out of the overlay (graceful leave): it stops
+// gossiping immediately and the survivors' healer ages its descriptors out
+// over the following rounds.
+func (net *Network) Remove(id NodeID) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	delete(net.nodes, id)
+	delete(net.dead, id)
+}
+
+// SetDropRate makes the given fraction of exchanges fail silently (message
+// loss), drawn from the driver's seeded randomness so runs stay
+// deterministic. The initiator treats a dropped exchange like an
+// unresponsive peer.
+func (net *Network) SetDropRate(p float64) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	net.drop = p
 }
 
 // Node returns the node with the given ID, or nil.
@@ -104,7 +199,9 @@ func (net *Network) Alive(id NodeID) bool {
 }
 
 // Round runs one gossip round: every alive node ages its view and initiates
-// one exchange with its selected peer.
+// one exchange with its selected peer. Drop decisions (SetDropRate) are
+// drawn up front from the driver's seeded randomness, so a round is a pure
+// function of the seed and the membership history.
 func (net *Network) Round() {
 	net.mu.Lock()
 	ids := make([]NodeID, 0, len(net.nodes))
@@ -115,21 +212,31 @@ func (net *Network) Round() {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	net.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	var dropped []bool
+	if net.drop > 0 {
+		dropped = make([]bool, len(ids))
+		for i := range dropped {
+			dropped[i] = net.rng.Float64() < net.drop
+		}
+	}
 	net.round++
 	net.mu.Unlock()
 
-	for _, id := range ids {
+	for i, id := range ids {
 		node := net.Node(id)
+		if node == nil {
+			continue // removed mid-round
+		}
 		node.Tick()
 		peerID, ok := node.SelectPeer()
 		if !ok {
 			continue
 		}
-		if !net.Alive(peerID) {
+		peer := net.Node(peerID)
+		if peer == nil || !net.Alive(peerID) || (dropped != nil && dropped[i]) {
 			node.FailExchange(peerID)
 			continue
 		}
-		peer := net.Node(peerID)
 		buffer := node.InitiateExchange()
 		reply := peer.HandleExchange(buffer)
 		node.CompleteExchange(reply)

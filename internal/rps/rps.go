@@ -1,17 +1,3 @@
-// Package rps implements gossip-based random peer sampling, the peer
-// discovery protocol CYCLOSA relies on (§V-E). It follows the generic
-// protocol of Jelasity et al., "Gossip-based peer sampling" (TOCS 2007):
-// every node maintains a small partial view of node descriptors; each round
-// it exchanges half its view with the oldest-known peer; the healer
-// parameter (H) ages out descriptors of dead nodes and the swapper
-// parameter (S) keeps the overlay random. The continuously changing random
-// topology gives each CYCLOSA node an unbiased sample of alive peers to use
-// as relays.
-//
-// The package is transport-agnostic: nodes expose the active and passive
-// halves of the exchange as pure functions over descriptor buffers, and a
-// driver (the simulated network, or a real gossip transport) moves the
-// buffers. A deterministic in-process Network driver is included.
 package rps
 
 import (
@@ -24,10 +10,16 @@ import (
 // NodeID identifies a node in the overlay.
 type NodeID string
 
-// Descriptor is one view entry: a node and the age of the information.
+// Descriptor is one view entry: a node, where to reach it, and the age of
+// the information.
 type Descriptor struct {
 	// ID is the described node.
 	ID NodeID
+	// Addr is the node's transport address (empty for in-process overlays,
+	// a TCP host:port for the networked membership plane). Descriptors
+	// gossip addresses along with identities, which is what lets a node dial
+	// peers it has never met.
+	Addr string
 	// Age counts gossip rounds since the descriptor was created; fresher is
 	// smaller.
 	Age int
@@ -45,6 +37,9 @@ type Config struct {
 	Swapper int
 	// Seed drives the node's randomness.
 	Seed int64
+	// Addr is the transport address this node advertises in the self
+	// descriptor it gossips (empty for in-process overlays).
+	Addr string
 }
 
 func (c *Config) applyDefaults() {
@@ -101,6 +96,24 @@ func NewNode(id NodeID, bootstrap []NodeID, cfg Config) *Node {
 // ID returns the node's identifier.
 func (n *Node) ID() NodeID { return n.id }
 
+// Addr returns the transport address the node advertises in its gossiped
+// self descriptor.
+func (n *Node) Addr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.Addr
+}
+
+// SetAddr updates the advertised transport address. Daemons that listen on
+// an ephemeral port (":0") learn their real address only after binding, so
+// the advertised address may be set after construction but before the first
+// exchange.
+func (n *Node) SetAddr(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.Addr = addr
+}
+
 // ViewSize returns the current number of view entries.
 func (n *Node) ViewSize() int {
 	n.mu.Lock()
@@ -119,11 +132,43 @@ func (n *Node) View() []Descriptor {
 
 // Blacklist removes a peer from the view and refuses to re-admit it.
 // CYCLOSA blacklists peers that do not respond within a deadline (§VI-b).
+// Because the exchange buffers are built from the view, a blacklisted peer
+// is also gossip-suppressed: this node never forwards its descriptor again.
 func (n *Node) Blacklist(id NodeID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.blacklist[id] = struct{}{}
 	n.view = removeID(n.view, id)
+}
+
+// IsBlacklisted reports whether this node refuses to keep id in its view.
+func (n *Node) IsBlacklisted(id NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, bad := n.blacklist[id]
+	return bad
+}
+
+// BlacklistedIDs returns the peers this node has blacklisted, sorted.
+func (n *Node) BlacklistedIDs() []NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]NodeID, 0, len(n.blacklist))
+	for id := range n.blacklist {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Merge admits descriptors into the view outside a full exchange — the
+// networked bootstrap path, where a joining node seeds its view from the
+// reply of a bootstrap exchange. The usual view-selection rule applies
+// (dedup freshest, blacklist filter, shrink to ViewSize).
+func (n *Node) Merge(descs []Descriptor) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mergeLocked(descs)
 }
 
 // Sample returns up to k distinct random peers from the view. It returns
@@ -148,10 +193,17 @@ func (n *Node) Sample(k int) []NodeID {
 // SelectPeer returns the exchange target for this round: the peer with the
 // oldest descriptor (tail peer selection maximizes self-healing).
 func (n *Node) SelectPeer() (NodeID, bool) {
+	d, ok := n.SelectPeerDescriptor()
+	return d.ID, ok
+}
+
+// SelectPeerDescriptor is SelectPeer returning the full descriptor — the
+// networked driver needs the peer's address, not just its identity.
+func (n *Node) SelectPeerDescriptor() (Descriptor, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if len(n.view) == 0 {
-		return "", false
+		return Descriptor{}, false
 	}
 	oldest := 0
 	for i, d := range n.view {
@@ -159,7 +211,7 @@ func (n *Node) SelectPeer() (NodeID, bool) {
 			oldest = i
 		}
 	}
-	return n.view[oldest].ID, true
+	return n.view[oldest], true
 }
 
 // InitiateExchange prepares the active-side buffer: the node's own fresh
@@ -228,7 +280,7 @@ func (n *Node) makeBufferLocked() []Descriptor {
 		half = len(n.view)
 	}
 	buffer := make([]Descriptor, 0, half+1)
-	buffer = append(buffer, Descriptor{ID: n.id, Age: 0})
+	buffer = append(buffer, Descriptor{ID: n.id, Addr: n.cfg.Addr, Age: 0})
 	buffer = append(buffer, n.view[:half]...)
 
 	n.lastSent = make([]Descriptor, len(buffer))
@@ -253,12 +305,17 @@ func (n *Node) mergeLocked(buffer []Descriptor) {
 		merged = append(merged, d)
 	}
 
-	// Deduplicate keeping the freshest (lowest age).
+	// Deduplicate keeping the freshest (lowest age). A fresher descriptor
+	// without an address inherits the known one — in-process descriptors
+	// carry no address, and they must not erase a dialable one.
 	best := make(map[NodeID]int, len(merged)) // id -> index in dedup
 	dedup := merged[:0]
 	for _, d := range merged {
 		if i, seen := best[d.ID]; seen {
 			if d.Age < dedup[i].Age {
+				if d.Addr == "" {
+					d.Addr = dedup[i].Addr
+				}
 				dedup[i] = d
 			}
 			continue

@@ -26,7 +26,7 @@ func TestNewNodeBootstrap(t *testing.T) {
 func TestBootstrapRespectsViewSize(t *testing.T) {
 	boot := make([]NodeID, 50)
 	for i := range boot {
-		boot[i] = NodeID(nodeName(i))
+		boot[i] = Name(i)
 	}
 	n := NewNode("self", boot, Config{ViewSize: 8, Seed: 1})
 	if n.ViewSize() != 8 {
@@ -116,8 +116,8 @@ func TestViewNeverExceedsSize(t *testing.T) {
 	n := NewNode("self", []NodeID{"a", "b", "c"}, Config{ViewSize: 4, Seed: 8})
 	for i := 0; i < 20; i++ {
 		n.CompleteExchange([]Descriptor{
-			{ID: NodeID(nodeName(i)), Age: i % 3},
-			{ID: NodeID(nodeName(i + 100)), Age: 0},
+			{ID: Name(i), Age: i % 3},
+			{ID: Name(i + 100), Age: 0},
 		})
 		if n.ViewSize() > 4 {
 			t.Fatalf("view grew to %d > 4", n.ViewSize())
@@ -128,7 +128,7 @@ func TestViewNeverExceedsSize(t *testing.T) {
 func TestExchangeBufferShape(t *testing.T) {
 	boot := make([]NodeID, 12)
 	for i := range boot {
-		boot[i] = NodeID(nodeName(i))
+		boot[i] = Name(i)
 	}
 	n := NewNode("self", boot, Config{ViewSize: 12, Seed: 9})
 	buf := n.InitiateExchange()
@@ -178,7 +178,7 @@ func TestNetworkHealsDeadNodes(t *testing.T) {
 	net.Run(15)
 	// Kill a quarter of the overlay.
 	for i := 0; i < 10; i++ {
-		net.Kill(NodeID(nodeName(i)))
+		net.Kill(Name(i))
 	}
 	net.Run(40)
 	// Dead descriptors must have been healed out of alive views.
@@ -248,7 +248,7 @@ func TestDescriptorString(t *testing.T) {
 }
 
 func TestNodeNameFormat(t *testing.T) {
-	if nodeName(0) != "node0000" || nodeName(42) != "node0042" || nodeName(9999) != "node9999" {
-		t.Errorf("nodeName wrong: %s %s %s", nodeName(0), nodeName(42), nodeName(9999))
+	if string(Name(0)) != "node0000" || string(Name(42)) != "node0042" || string(Name(9999)) != "node9999" {
+		t.Errorf("nodeName wrong: %s %s %s", string(Name(0)), string(Name(42)), string(Name(9999)))
 	}
 }

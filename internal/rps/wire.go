@@ -1,0 +1,105 @@
+package rps
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"cyclosa/internal/wire"
+)
+
+// View wire format (version 1). A view buffer is the payload of one gossip
+// frame: the sender's own fresh descriptor followed by the exchanged view
+// entries, each one `id | addr | age`:
+//
+//	view       := ver(1B) | count(uvarint) | descriptor*
+//	descriptor := id(str) | addr(str) | age(uvarint)
+//
+// Strings are uvarint-length-prefixed (internal/wire); decode rejects
+// unknown versions, truncated frames, oversized fields and trailing bytes
+// before allocating, like every other codec in the repo. The first
+// descriptor is by convention the sender's self descriptor (age 0, its own
+// address) — DecodeView returns it separately so the passive side can learn
+// the initiator.
+const ViewWireVersion = 1
+
+// Wire bounds: a view buffer is small (ViewSize/2 entries plus self), so
+// the limits are generous without letting a hostile peer force large
+// allocations.
+const (
+	maxWireViewEntries = 256
+	maxWireIDLen       = 1 << 10
+	maxWireAddrLen     = 512
+	maxWireAge         = 1 << 30
+)
+
+// View codec errors.
+var (
+	ErrViewVersion  = errors.New("rps: unknown view wire version")
+	ErrViewTooLarge = errors.New("rps: view buffer exceeds entry bound")
+)
+
+// AppendView encodes a descriptor buffer (self first, then the exchange
+// entries) into dst and returns the extended slice.
+func AppendView(dst []byte, descs []Descriptor) ([]byte, error) {
+	if len(descs) > maxWireViewEntries {
+		return dst, fmt.Errorf("%w: %d > %d", ErrViewTooLarge, len(descs), maxWireViewEntries)
+	}
+	dst = append(dst, ViewWireVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(descs)))
+	for _, d := range descs {
+		if len(d.ID) > maxWireIDLen {
+			return dst, fmt.Errorf("rps: descriptor id %d bytes exceeds %d", len(d.ID), maxWireIDLen)
+		}
+		if len(d.Addr) > maxWireAddrLen {
+			return dst, fmt.Errorf("rps: descriptor addr %d bytes exceeds %d", len(d.Addr), maxWireAddrLen)
+		}
+		if d.Age < 0 || uint64(d.Age) > maxWireAge {
+			return dst, fmt.Errorf("rps: descriptor age %d out of range", d.Age)
+		}
+		dst = wire.AppendString(dst, string(d.ID))
+		dst = wire.AppendString(dst, d.Addr)
+		dst = binary.AppendUvarint(dst, uint64(d.Age))
+	}
+	return dst, nil
+}
+
+// DecodeView decodes a view buffer. The returned descriptors are copies and
+// do not alias data.
+func DecodeView(data []byte) ([]Descriptor, error) {
+	if len(data) < 1 {
+		return nil, wire.ErrTruncated
+	}
+	if data[0] != ViewWireVersion {
+		return nil, fmt.Errorf("%w: %d", ErrViewVersion, data[0])
+	}
+	data = data[1:]
+	count, data, err := wire.ConsumeUvarint(data, maxWireViewEntries)
+	if err != nil {
+		return nil, fmt.Errorf("rps: view count: %w", err)
+	}
+	descs := make([]Descriptor, 0, count)
+	for i := uint64(0); i < count; i++ {
+		id, rest, err := wire.ConsumeString(data, maxWireIDLen)
+		if err != nil {
+			return nil, fmt.Errorf("rps: descriptor %d id: %w", i, err)
+		}
+		addr, rest, err := wire.ConsumeString(rest, maxWireAddrLen)
+		if err != nil {
+			return nil, fmt.Errorf("rps: descriptor %d addr: %w", i, err)
+		}
+		age, rest, err := wire.ConsumeUvarint(rest, maxWireAge)
+		if err != nil {
+			return nil, fmt.Errorf("rps: descriptor %d age: %w", i, err)
+		}
+		if id == "" {
+			return nil, fmt.Errorf("rps: descriptor %d has empty id", i)
+		}
+		descs = append(descs, Descriptor{ID: NodeID(id), Addr: addr, Age: int(age)})
+		data = rest
+	}
+	if len(data) != 0 {
+		return nil, errors.New("rps: trailing bytes after view buffer")
+	}
+	return descs, nil
+}

@@ -1,0 +1,137 @@
+package rps
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cyclosa/internal/wire"
+)
+
+func TestViewWireRoundTrip(t *testing.T) {
+	descs := []Descriptor{
+		{ID: "node0001", Addr: "10.0.0.1:7844", Age: 0},
+		{ID: "node0002", Addr: "", Age: 3},
+		{ID: "node0003", Addr: "[::1]:7845", Age: 17},
+	}
+	buf, err := AppendView(nil, descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeView(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(descs) {
+		t.Fatalf("decoded %d descriptors, want %d", len(got), len(descs))
+	}
+	for i := range descs {
+		if got[i] != descs[i] {
+			t.Fatalf("descriptor %d: got %+v, want %+v", i, got[i], descs[i])
+		}
+	}
+}
+
+func TestViewWireEmpty(t *testing.T) {
+	buf, err := AppendView(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeView(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected empty view, got %d entries", len(got))
+	}
+}
+
+func TestViewWireHardening(t *testing.T) {
+	good, err := AppendView(nil, []Descriptor{{ID: "node0001", Addr: "a:1", Age: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for i := 0; i < len(good); i++ {
+			if _, err := DecodeView(good[:i]); err == nil {
+				t.Fatalf("truncation at %d accepted", i)
+			}
+		}
+	})
+	t.Run("trailing", func(t *testing.T) {
+		if _, err := DecodeView(append(append([]byte{}, good...), 0xFF)); err == nil {
+			t.Fatal("trailing byte accepted")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[0] = 99
+		if _, err := DecodeView(bad); !errors.Is(err, ErrViewVersion) {
+			t.Fatalf("want ErrViewVersion, got %v", err)
+		}
+	})
+	t.Run("oversized count", func(t *testing.T) {
+		// ver=1, count=maxWireViewEntries+1 — rejected before allocation.
+		bad := []byte{ViewWireVersion, 0x81, 0x02} // uvarint 257
+		if _, err := DecodeView(bad); !errors.Is(err, wire.ErrOversize) {
+			t.Fatalf("want wire.ErrOversize, got %v", err)
+		}
+	})
+	t.Run("empty id", func(t *testing.T) {
+		buf, err := AppendView(nil, []Descriptor{{ID: "", Age: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeView(buf); err == nil || !strings.Contains(err.Error(), "empty id") {
+			t.Fatalf("empty id accepted: %v", err)
+		}
+	})
+	t.Run("encode bounds", func(t *testing.T) {
+		if _, err := AppendView(nil, make([]Descriptor, maxWireViewEntries+1)); !errors.Is(err, ErrViewTooLarge) {
+			t.Fatalf("want ErrViewTooLarge, got %v", err)
+		}
+		if _, err := AppendView(nil, []Descriptor{{ID: NodeID(strings.Repeat("x", maxWireIDLen+1))}}); err == nil {
+			t.Fatal("oversized id accepted")
+		}
+		if _, err := AppendView(nil, []Descriptor{{ID: "a", Addr: strings.Repeat("x", maxWireAddrLen+1)}}); err == nil {
+			t.Fatal("oversized addr accepted")
+		}
+		if _, err := AppendView(nil, []Descriptor{{ID: "a", Age: -1}}); err == nil {
+			t.Fatal("negative age accepted")
+		}
+	})
+}
+
+func FuzzViewDecode(f *testing.F) {
+	seed, _ := AppendView(nil, []Descriptor{
+		{ID: "node0001", Addr: "127.0.0.1:7844", Age: 1},
+		{ID: "node0002", Age: 9},
+	})
+	f.Add(seed)
+	f.Add([]byte{ViewWireVersion, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		descs, err := DecodeView(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode to the same view.
+		buf, err := AppendView(nil, descs)
+		if err != nil {
+			t.Fatalf("re-encode of decoded view failed: %v", err)
+		}
+		again, err := DecodeView(buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(descs) {
+			t.Fatalf("round trip changed entry count: %d != %d", len(again), len(descs))
+		}
+		for i := range descs {
+			if again[i] != descs[i] {
+				t.Fatalf("round trip changed descriptor %d", i)
+			}
+		}
+	})
+}

@@ -57,6 +57,28 @@
 // delivery attempts), every search either completed or failed with a clean
 // protocol error, and no invariant checker recorded a violation.
 //
+// # Churned membership
+//
+// MembershipChurn is the chaos driver of the gossip control plane (the
+// same rps exchange functions nettrans.Membership runs over TCP): an
+// overlay bootstrapped from a small seed set is subjected to message loss,
+// mid-run joins and leaves, a two-way partition window and a
+// gossip-suppressed blacklist event. Two properties are machine-checked
+// every round:
+//
+//   - convergence — the view graph becomes (and, after every disturbance,
+//     again becomes) connected: every eligible node reachable from the
+//     first seed by following view edges (MembershipReport.ConvergedAt /
+//     ReconvergedAt);
+//   - no blacklist re-entry — a node blacklisted in round r never reappears
+//     in any blacklisting node's view, even though it keeps gossiping
+//     adversarially and churn continues (MembershipReport.Reentries must
+//     stay empty).
+//
+// A node whose view empties under drops re-bootstraps from the seeds,
+// mirroring the daemon's fallback to its -bootstrap list. The run is fully
+// serial and its event log byte-identical under a fixed seed.
+//
 // # Replaying a failure
 //
 // A chaos run is fully described by its ChaosOptions: the schedule, the

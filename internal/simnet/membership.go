@@ -1,0 +1,392 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"cyclosa/internal/rps"
+)
+
+// MembershipOptions configures a churned-membership chaos run: a seeded
+// gossip overlay bootstrapped from a small seed set, subjected to message
+// loss, joins, leaves, a partition window and a gossip-suppressed blacklist
+// event, with the convergence and no-re-entry invariants checked every
+// round. Everything derives from Seed, so a failing run replays exactly.
+type MembershipOptions struct {
+	// Seed derives the whole run (node randomness, churn schedule, drops).
+	Seed int64
+	// Nodes is the initial overlay size (default 32).
+	Nodes int
+	// Seeds is the number of bootstrap seed nodes; every node's initial view
+	// holds the seeds alone, like daemons started with -bootstrap
+	// (default 2).
+	Seeds int
+	// Rounds is the number of gossip rounds driven (default 40).
+	Rounds int
+	// DropRate is the per-exchange message-loss probability.
+	DropRate float64
+	// Joins and Leaves are the number of mid-run membership changes, spread
+	// deterministically over the middle half of the run.
+	Joins, Leaves int
+	// PartitionAt and HealAt bound a two-way partition window: from round
+	// PartitionAt (inclusive) to HealAt (exclusive) the overlay is split in
+	// two halves that cannot exchange. Zero values disable the partition.
+	PartitionAt, HealAt int
+	// BlacklistAt, when > 0, is the round at which one victim node is
+	// blacklisted by every other node (the control-plane reaction to the
+	// data plane detecting relay misbehavior). The victim keeps gossiping —
+	// adversarially trying to re-enter — and the no-re-entry invariant must
+	// hold anyway.
+	BlacklistAt int
+	// RPS tunes the peer-sampling protocol.
+	RPS rps.Config
+}
+
+// MembershipReport is the outcome of a churned-membership run.
+type MembershipReport struct {
+	// Rounds is the number of rounds driven.
+	Rounds int
+	// ConvergedAt is the first round at which every eligible node was
+	// reachable from the first seed by following view edges (0 = never).
+	ConvergedAt int
+	// ReconvergedAt is the first converged round at or after the last
+	// disturbance (join, leave, heal, blacklist); 0 = never re-converged.
+	ReconvergedAt int
+	// LastDisturbance is the round of the final scheduled disturbance.
+	LastDisturbance int
+	// FinalAlive and FinalReachable describe the last round.
+	FinalAlive, FinalReachable int
+	// Joins and Leaves count the churn events that actually fired.
+	Joins, Leaves int
+	// Victim is the blacklisted node ("" when BlacklistAt is off).
+	Victim string
+	// Reentries lists every blacklist re-entry observed — one entry is an
+	// invariant violation.
+	Reentries []string
+	// MinInDegree and MaxInDegree bound the final in-degree distribution
+	// over eligible nodes (load-spread check).
+	MinInDegree, MaxInDegree int
+	// Log is the deterministic event trace; byte-identical across runs with
+	// the same options.
+	Log []string
+}
+
+// Check returns one line per violated membership property (empty = clean).
+func (r *MembershipReport) Check() []string {
+	var bad []string
+	if len(r.Reentries) > 0 {
+		bad = append(bad, fmt.Sprintf("blacklisted node re-entered a view %d time(s): %s",
+			len(r.Reentries), strings.Join(r.Reentries, "; ")))
+	}
+	if r.ConvergedAt == 0 {
+		bad = append(bad, "overlay never converged")
+	}
+	if r.FinalReachable != r.FinalAlive {
+		bad = append(bad, fmt.Sprintf("final round: %d of %d eligible nodes reachable", r.FinalReachable, r.FinalAlive))
+	}
+	return bad
+}
+
+// MembershipChurn drives the run. It is fully serial and deterministic:
+// node iteration order is sorted then shuffled by the seeded rng, drops are
+// pre-drawn, and the churn schedule is a pure function of the options.
+func MembershipChurn(opts MembershipOptions) (*MembershipReport, error) {
+	if opts.Nodes == 0 {
+		opts.Nodes = 32
+	}
+	if opts.Nodes < 4 {
+		return nil, fmt.Errorf("simnet: membership churn needs >= 4 nodes, got %d", opts.Nodes)
+	}
+	if opts.Seeds <= 0 {
+		opts.Seeds = 2
+	}
+	if opts.Seeds > opts.Nodes {
+		opts.Seeds = opts.Nodes
+	}
+	if opts.Rounds <= 0 {
+		opts.Rounds = 40
+	}
+	if opts.PartitionAt < 0 || opts.HealAt < opts.PartitionAt {
+		return nil, fmt.Errorf("simnet: bad partition window [%d, %d)", opts.PartitionAt, opts.HealAt)
+	}
+	if (opts.PartitionAt == 0) != (opts.HealAt == 0) {
+		// Rounds are 1-based: a window with only one bound set would never
+		// assign the split (or never heal it) — reject rather than running a
+		// phantom partition.
+		return nil, fmt.Errorf("simnet: partition window needs both bounds, got [%d, %d)", opts.PartitionAt, opts.HealAt)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x6d656d62))
+	report := &MembershipReport{Rounds: opts.Rounds}
+
+	// The overlay under test. born counts every node ever created so
+	// per-node seeds never collide across joins.
+	nodes := make(map[rps.NodeID]*rps.Node, opts.Nodes)
+	born := 0
+	seedIDs := make([]rps.NodeID, opts.Seeds)
+	newNode := func(id rps.NodeID) *rps.Node {
+		cfg := opts.RPS
+		cfg.Seed = opts.Seed + int64(born)*7919
+		born++
+		return rps.NewNode(id, seedIDs, cfg)
+	}
+	for i := 0; i < opts.Seeds; i++ {
+		seedIDs[i] = rps.Name(i)
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		id := rps.Name(i)
+		nodes[id] = newNode(id)
+	}
+
+	// Churn schedule: joins and leaves spread over the middle half.
+	churnRound := func(i, total int) int {
+		span := opts.Rounds / 2
+		if span < 1 {
+			span = 1
+		}
+		return opts.Rounds/4 + (i*span)/total + 1
+	}
+	joinAt := make(map[int]int)
+	for i := 0; i < opts.Joins; i++ {
+		joinAt[churnRound(i, opts.Joins)]++
+	}
+	leaveAt := make(map[int]int)
+	for i := 0; i < opts.Leaves; i++ {
+		leaveAt[churnRound(i, opts.Leaves)]++
+	}
+	lastDisturbance := 0
+	for r := range joinAt {
+		lastDisturbance = max(lastDisturbance, r)
+	}
+	for r := range leaveAt {
+		lastDisturbance = max(lastDisturbance, r)
+	}
+	lastDisturbance = max(lastDisturbance, opts.HealAt, opts.BlacklistAt)
+	report.LastDisturbance = lastDisturbance
+
+	sortedIDs := func() []rps.NodeID {
+		ids := make([]rps.NodeID, 0, len(nodes))
+		for id := range nodes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	}
+
+	isSeed := func(id rps.NodeID) bool {
+		for _, s := range seedIDs {
+			if s == id {
+				return true
+			}
+		}
+		return false
+	}
+	// nonSeeds picks leave/blacklist candidates. Seeds are excluded by
+	// identity, not by slice position — joined nodes ("joinNNNN") sort
+	// before the seeds ("nodeNNNN"), so slicing sortedIDs() would stop
+	// protecting the seeds as soon as the first join lands.
+	nonSeeds := func(exclude rps.NodeID) []rps.NodeID {
+		var out []rps.NodeID
+		for _, id := range sortedIDs() {
+			if !isSeed(id) && id != exclude {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+
+	var victim rps.NodeID
+	partition := make(map[rps.NodeID]int)
+	inPartition := func(r int) bool { return opts.HealAt > 0 && r >= opts.PartitionAt && r < opts.HealAt }
+
+	logf := func(format string, args ...any) {
+		report.Log = append(report.Log, fmt.Sprintf(format, args...))
+	}
+
+	for r := 1; r <= opts.Rounds; r++ {
+		// Membership events first: they model operators and failures acting
+		// between gossip rounds.
+		for i := 0; i < joinAt[r]; i++ {
+			id := rps.NodeID(fmt.Sprintf("join%04d", born))
+			nodes[id] = newNode(id)
+			report.Joins++
+			logf("round %d: join %s", r, id)
+		}
+		for i := 0; i < leaveAt[r]; i++ {
+			// Leave a deterministic non-seed, non-victim node.
+			leavers := nonSeeds(victim)
+			if len(leavers) == 0 {
+				break
+			}
+			id := leavers[rng.Intn(len(leavers))]
+			delete(nodes, id)
+			delete(partition, id)
+			report.Leaves++
+			logf("round %d: leave %s", r, id)
+		}
+		if opts.HealAt > 0 && r == opts.PartitionAt {
+			ids := sortedIDs()
+			rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+			for i, id := range ids {
+				partition[id] = i % 2
+			}
+			logf("round %d: partition", r)
+		}
+		if opts.HealAt > 0 && r == opts.HealAt {
+			partition = make(map[rps.NodeID]int)
+			logf("round %d: heal", r)
+		}
+		if opts.BlacklistAt > 0 && r == opts.BlacklistAt {
+			if candidates := nonSeeds(""); len(candidates) > 0 {
+				victim = candidates[rng.Intn(len(candidates))]
+				report.Victim = string(victim)
+				for id, n := range nodes {
+					if id != victim {
+						n.Blacklist(victim)
+					}
+				}
+				logf("round %d: blacklist %s", r, victim)
+			} else {
+				logf("round %d: blacklist skipped, no non-seed candidate", r)
+			}
+		}
+
+		// One gossip round: shuffled order and drop rolls pre-drawn from the
+		// driver rng, exchanges delivered as direct function calls.
+		ids := sortedIDs()
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		drops := make([]bool, len(ids))
+		for i := range drops {
+			drops[i] = opts.DropRate > 0 && rng.Float64() < opts.DropRate
+		}
+		partitioned := inPartition(r)
+		for i, id := range ids {
+			node := nodes[id]
+			node.Tick()
+			peerID, ok := node.SelectPeer()
+			if !ok {
+				// Stranded: drops and failures emptied the view. Fall back to
+				// the bootstrap seeds — exactly what a daemon does with its
+				// -bootstrap list — so the node re-enters the overlay instead
+				// of staying isolated forever.
+				var seeds []rps.Descriptor
+				for _, sid := range seedIDs {
+					if sid != id && nodes[sid] != nil {
+						seeds = append(seeds, rps.Descriptor{ID: sid, Age: 0})
+					}
+				}
+				node.Merge(seeds)
+				logf("round %d: %s re-bootstraps", r, id)
+				continue
+			}
+			peer := nodes[peerID]
+			switch {
+			case peer == nil, drops[i]:
+				node.FailExchange(peerID)
+			case partitioned && partition[id] != partition[peerID]:
+				node.FailExchange(peerID)
+			case peer.IsBlacklisted(id):
+				// Gossip suppression: the passive side refuses a blacklisted
+				// initiator outright — no admission, no view information.
+				node.FailExchange(peerID)
+			default:
+				reply := peer.HandleExchange(node.InitiateExchange())
+				node.CompleteExchange(reply)
+			}
+		}
+
+		// Invariants and convergence, every round.
+		for _, id := range sortedIDs() {
+			for _, d := range nodes[id].View() {
+				if nodes[id].IsBlacklisted(d.ID) {
+					report.Reentries = append(report.Reentries,
+						fmt.Sprintf("round %d: %s holds blacklisted %s", r, id, d.ID))
+				}
+			}
+		}
+		eligible, reachable := membershipReach(nodes, victim)
+		if reachable == eligible && !partitioned {
+			if report.ConvergedAt == 0 {
+				report.ConvergedAt = r
+			}
+			if report.ReconvergedAt == 0 && r >= lastDisturbance {
+				report.ReconvergedAt = r
+			}
+		}
+		if r == opts.Rounds {
+			report.FinalAlive, report.FinalReachable = eligible, reachable
+		}
+	}
+
+	// Final in-degree spread over eligible nodes.
+	deg := make(map[rps.NodeID]int)
+	for id, n := range nodes {
+		if id == victim {
+			continue
+		}
+		for _, d := range n.View() {
+			if d.ID != victim {
+				deg[d.ID]++
+			}
+		}
+	}
+	first := true
+	for id := range nodes {
+		if id == victim {
+			continue
+		}
+		d := deg[id]
+		if first {
+			report.MinInDegree, report.MaxInDegree = d, d
+			first = false
+			continue
+		}
+		report.MinInDegree = min(report.MinInDegree, d)
+		report.MaxInDegree = max(report.MaxInDegree, d)
+	}
+	return report, nil
+}
+
+// membershipReach counts the eligible nodes (everyone but a blacklisted
+// victim) and how many of them the first eligible seed reaches by following
+// view edges.
+func membershipReach(nodes map[rps.NodeID]*rps.Node, victim rps.NodeID) (eligible, reachable int) {
+	ids := make([]rps.NodeID, 0, len(nodes))
+	for id := range nodes {
+		if id != victim {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	eligible = len(ids)
+	if eligible == 0 {
+		return 0, 0
+	}
+	start := ids[0]
+	seen := map[rps.NodeID]struct{}{start: {}}
+	frontier := []rps.NodeID{start}
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		n := nodes[id]
+		if n == nil {
+			continue
+		}
+		for _, d := range n.View() {
+			if d.ID == victim {
+				continue
+			}
+			if _, gone := nodes[d.ID]; !gone {
+				continue
+			}
+			if _, ok := seen[d.ID]; ok {
+				continue
+			}
+			seen[d.ID] = struct{}{}
+			frontier = append(frontier, d.ID)
+		}
+	}
+	return eligible, len(seen)
+}

@@ -1,0 +1,135 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMembershipConvergence is the convergence property test of the gossip
+// control plane: 64 nodes bootstrapped from only 2 seeds, 10% message loss,
+// must reach a connected view graph within a bounded number of rounds —
+// deterministically under the seed.
+func TestMembershipConvergence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rep, err := MembershipChurn(MembershipOptions{
+			Seed:     seed,
+			Nodes:    64,
+			Seeds:    2,
+			Rounds:   30,
+			DropRate: 0.10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad := rep.Check(); len(bad) > 0 {
+			t.Fatalf("seed %d: %s", seed, strings.Join(bad, "; "))
+		}
+		const bound = 25
+		if rep.ConvergedAt == 0 || rep.ConvergedAt > bound {
+			t.Fatalf("seed %d: converged at round %d, want <= %d", seed, rep.ConvergedAt, bound)
+		}
+		if rep.MinInDegree == 0 {
+			t.Fatalf("seed %d: some node ended with in-degree 0", seed)
+		}
+	}
+}
+
+// TestMembershipDeterminism: identical options must yield a byte-identical
+// event log and report.
+func TestMembershipDeterminism(t *testing.T) {
+	opts := MembershipOptions{
+		Seed: 99, Nodes: 48, Seeds: 2, Rounds: 40, DropRate: 0.1,
+		Joins: 4, Leaves: 4, PartitionAt: 12, HealAt: 18, BlacklistAt: 20,
+	}
+	a, err := MembershipChurn(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MembershipChurn(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la, lb := strings.Join(a.Log, "\n"), strings.Join(b.Log, "\n"); la != lb {
+		t.Fatalf("event logs differ across identical runs:\n--- a ---\n%s\n--- b ---\n%s", la, lb)
+	}
+	if a.ConvergedAt != b.ConvergedAt || a.ReconvergedAt != b.ReconvergedAt ||
+		a.FinalReachable != b.FinalReachable || a.Victim != b.Victim {
+		t.Fatalf("reports differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestMembershipChurnConverges: joins, leaves and a partition window must
+// all heal — the overlay re-converges after the last disturbance.
+func TestMembershipChurnConverges(t *testing.T) {
+	rep, err := MembershipChurn(MembershipOptions{
+		Seed: 5, Nodes: 48, Seeds: 2, Rounds: 60, DropRate: 0.05,
+		Joins: 6, Leaves: 6, PartitionAt: 20, HealAt: 28,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := rep.Check(); len(bad) > 0 {
+		t.Fatalf("churned run: %s", strings.Join(bad, "; "))
+	}
+	if rep.Joins != 6 || rep.Leaves != 6 {
+		t.Fatalf("churn events: %d joins, %d leaves", rep.Joins, rep.Leaves)
+	}
+	if rep.ReconvergedAt == 0 {
+		t.Fatal("overlay never re-converged after the last disturbance")
+	}
+}
+
+// TestMembershipBlacklistNeverReenters is the no-re-entry regression: a
+// relay blacklisted at round r — while it keeps gossiping adversarially,
+// churn continues and messages drop — must never reappear in any view.
+func TestMembershipBlacklistNeverReenters(t *testing.T) {
+	for _, seed := range []int64{3, 11, 23} {
+		rep, err := MembershipChurn(MembershipOptions{
+			Seed: seed, Nodes: 40, Seeds: 2, Rounds: 60, DropRate: 0.1,
+			Joins: 4, Leaves: 4, BlacklistAt: 15, PartitionAt: 25, HealAt: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Victim == "" {
+			t.Fatal("no victim selected")
+		}
+		if len(rep.Reentries) > 0 {
+			t.Fatalf("seed %d: blacklisted %s re-entered: %s",
+				seed, rep.Victim, strings.Join(rep.Reentries, "; "))
+		}
+		if bad := rep.Check(); len(bad) > 0 {
+			t.Fatalf("seed %d: %s", seed, strings.Join(bad, "; "))
+		}
+	}
+}
+
+// TestMembershipBadOptions: invalid configurations are rejected.
+func TestMembershipBadOptions(t *testing.T) {
+	if _, err := MembershipChurn(MembershipOptions{Nodes: 2}); err == nil {
+		t.Fatal("tiny overlay accepted")
+	}
+	if _, err := MembershipChurn(MembershipOptions{PartitionAt: 10, HealAt: 5}); err == nil {
+		t.Fatal("inverted partition window accepted")
+	}
+	if _, err := MembershipChurn(MembershipOptions{HealAt: 30}); err == nil {
+		t.Fatal("half-open partition window accepted")
+	}
+}
+
+// TestMembershipBlacklistNoCandidates: a blacklist event with every node a
+// seed must be skipped cleanly, not panic.
+func TestMembershipBlacklistNoCandidates(t *testing.T) {
+	rep, err := MembershipChurn(MembershipOptions{
+		Seed: 1, Nodes: 4, Seeds: 4, Rounds: 10, BlacklistAt: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Victim != "" {
+		t.Fatalf("victim selected with no candidates: %q", rep.Victim)
+	}
+	if bad := rep.Check(); len(bad) > 0 {
+		t.Fatalf("clean all-seed run: %v", bad)
+	}
+}

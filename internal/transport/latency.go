@@ -1,13 +1,3 @@
-// Package transport models the network substrate of the evaluation: per-link
-// latency distributions for the simulated deployments (Fig 8a/8b), and a
-// virtual clock so that long simulated horizons (the 90-minute load run of
-// Fig 8d) execute instantly.
-//
-// The paper measures end-to-end latencies on physical machines; absolute
-// values here come from a calibrated model instead (medians chosen to match
-// Fig 8a: direct ≈ 0.58 s, CYCLOSA ≈ 0.88 s, TOR ≈ 62 s), but the shape of
-// the comparison — which system is faster, by what factor, how latency grows
-// with k — is reproduced by construction of the same message paths.
 package transport
 
 import (

@@ -1,32 +1,3 @@
-// Package workload is the concurrent load-generation engine of the
-// reproduction: it drives N client goroutines against an operation (most
-// often a forward through a core.Network) and aggregates latency and
-// throughput without adding shared state to the measured hot path.
-//
-// Two loop disciplines are supported, matching the two ways the paper
-// exercises the system:
-//
-//   - closed loop (Options.Rate == 0): every client issues its next request
-//     as soon as the previous one completes — the discipline of the
-//     cyclosa-bench loadtest default and of figure replay, where the goal
-//     is to saturate the path;
-//   - open loop (Options.Rate > 0): clients issue requests on a fixed
-//     aggregate schedule regardless of completions, the discipline of an
-//     offered-rate sweep like the Fig 8c capacity curve, where the
-//     interesting signal is how far the achieved rate falls behind the
-//     offer.
-//
-// Queries come from a Generator: a fixed probe, a round-robin list, a
-// Zipf-popularity stream over a queries.Universe vocabulary (web search
-// popularity is heavy-tailed), or a trace replay over a queries.Log. Each
-// client draws from its own deterministic stream, so a run with a fixed
-// operation budget issues exactly the same multiset of queries regardless
-// of goroutine interleaving — this is what the race-proof determinism tests
-// in core assert.
-//
-// Latencies are recorded per client and merged after the run (histograms
-// via internal/stats), so the engine itself contends on nothing while the
-// clock is running.
 package workload
 
 import (
