@@ -8,71 +8,131 @@ import (
 	"time"
 
 	"cyclosa/internal/core"
+	"cyclosa/internal/enclave"
 	"cyclosa/internal/nettrans"
 	"cyclosa/internal/rps"
+	"cyclosa/internal/securechan"
+	"cyclosa/internal/stats"
 	"cyclosa/internal/transport"
 )
 
 // NetBenchOptions configures the network-transport benchmark behind
-// cyclosa-bench's -exp net: the same single-relay forward round trip as the
-// relay experiment, measured over the in-process direct conduit and over
-// loopback TCP through nettrans.TCPConduit, so the cost of the real-socket
-// data plane is tracked PR over PR in BENCH_net.json.
+// cyclosa-bench's -exp net: the forward round trip measured side by side
+// over comparative transport variants (direct / TCP without coalescing /
+// TCP with coalescing / the attested service plane with query batching),
+// so each layer of the data plane's cost — and each optimization's payoff —
+// is tracked PR over PR in BENCH_net.json.
 type NetBenchOptions struct {
 	// Seed drives network randomness.
 	Seed int64
-	// Iterations is the measured round-trip count per phase (default 20000).
+	// Iterations is the measured round-trip count per variant (default 20000).
 	Iterations int
 	// Warmup iterations establish sessions, connections and scratch buffers
-	// before measurement (default 500).
+	// before measurement (default 500). Reported per variant so BENCH_net
+	// deltas are known to reflect steady state only.
 	Warmup int
-	// Concurrency is the client count of the multiplexed phase (default 4):
-	// that many nodes forward through one relay over one shared TCP
+	// Concurrency is the client count of the multiplexed variants (default
+	// 4): that many clients forward through one relay over one shared TCP
 	// connection, measuring stream multiplexing rather than serial RTT.
 	Concurrency int
 }
 
-// NetBenchResult is one measurement of the forward path over both conduits.
+func (o *NetBenchOptions) applyDefaults() {
+	if o.Iterations <= 0 {
+		o.Iterations = 20000
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 500
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+}
+
+// NetBenchVariant is one transport variant's measurement.
+type NetBenchVariant struct {
+	// Name identifies the variant: "direct", "tcp", "tcp+coalesce",
+	// "tcp+coalesce+query-batch".
+	Name string `json:"name"`
+	// Concurrency is the closed-loop client count of this variant.
+	Concurrency int `json:"concurrency"`
+	// NsPerOp is wall-clock time per completed op (aggregate: elapsed divided
+	// by total ops, so for concurrent variants it reflects throughput, not
+	// latency — see the percentiles for latency).
+	NsPerOp float64 `json:"ns_per_op"`
+	// OpsPerSec is the aggregate closed-loop throughput.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// P50NsPerOp / P95NsPerOp are per-op latency percentiles over the
+	// measured iterations.
+	P50NsPerOp float64 `json:"p50_ns_per_op"`
+	P95NsPerOp float64 `json:"p95_ns_per_op"`
+	// ColdStartNs is the first exchange on the cold stack — dial + hello +
+	// (for the service plane) attestation — reported separately so it is
+	// never charged to a measured op.
+	ColdStartNs float64 `json:"cold_start_ns,omitempty"`
+	// WarmupOps is how many unmeasured ops preceded measurement.
+	WarmupOps int `json:"warmup_ops"`
+	// FramesPerFlush is the write-combining contention proxy (client side):
+	// 1.0 means every frame paid its own flush; higher means concurrent
+	// writers shared syscalls. Zero when the variant has no frame stats.
+	FramesPerFlush float64 `json:"frames_per_flush,omitempty"`
+}
+
+// NetBenchHistoryEntry is one prior BENCH_net measurement, carried forward
+// so the throughput trajectory is visible across PRs.
+type NetBenchHistoryEntry struct {
+	GeneratedAt            string  `json:"generated_at"`
+	TCPConcurrentOpsPerSec float64 `json:"tcp_concurrent_ops_per_sec"`
+	TCPNsPerOp             float64 `json:"tcp_ns_per_op,omitempty"`
+}
+
+// NetBenchResult is one comparative measurement of the forward path. The
+// top-level summary fields mirror v1 (CI's regression gate and external
+// tooling key on tcp_concurrent_ops_per_sec); the variants array is the v2
+// side-by-side detail.
 type NetBenchResult struct {
 	// Benchmark names the measured path.
 	Benchmark string `json:"benchmark"`
-	// Iterations is the per-phase measured round-trip count.
+	// Iterations is the per-variant measured round-trip count.
 	Iterations int `json:"iterations"`
 	// DirectNsPerOp is the in-process (direct conduit) round-trip time.
 	DirectNsPerOp float64 `json:"direct_ns_per_op"`
-	// TCPNsPerOp is the loopback-TCP round-trip time (single client, closed
-	// loop) — the loopback RTT of the frame protocol.
+	// TCPNsPerOp is the serial loopback-TCP round-trip time (single client,
+	// closed loop, coalescing on — a lone writer flushes immediately).
 	TCPNsPerOp float64 `json:"tcp_ns_per_op"`
 	// TCPOpsPerSec is the single-client closed-loop TCP throughput.
 	TCPOpsPerSec float64 `json:"tcp_ops_per_sec"`
-	// OverheadNsPerOp is TCPNsPerOp - DirectNsPerOp: what the real socket,
-	// framing and connection pool add to one exchange.
+	// OverheadNsPerOp is TCPNsPerOp - DirectNsPerOp.
 	OverheadNsPerOp float64 `json:"overhead_ns_per_op"`
-	// Concurrency is the multiplexed phase's client count.
+	// Concurrency is the multiplexed variants' client count.
 	Concurrency int `json:"concurrency"`
-	// TCPConcurrentOpsPerSec is the aggregate throughput of Concurrency
-	// clients multiplexing over the shared connection pool.
+	// TCPConcurrentOpsPerSec is the aggregate throughput of the
+	// "tcp+coalesce" variant (the default production transport) — the field
+	// the CI regression gate compares.
 	TCPConcurrentOpsPerSec float64 `json:"tcp_concurrent_ops_per_sec"`
+	// Variants holds the side-by-side measurements.
+	Variants []NetBenchVariant `json:"variants"`
 	// GeneratedAt stamps the measurement (RFC 3339).
 	GeneratedAt string `json:"generated_at"`
+	// History carries prior measurements forward, newest first.
+	History []NetBenchHistoryEntry `json:"history,omitempty"`
 }
 
-// RunNetBench measures the forward round trip over the direct conduit and
-// over loopback TCP (serial and multiplexed).
+// RunNetBench measures the forward round trip over the comparative
+// transport variants.
 func RunNetBench(opts NetBenchOptions) (*NetBenchResult, error) {
-	if opts.Iterations <= 0 {
-		opts.Iterations = 20000
-	}
-	if opts.Warmup <= 0 {
-		opts.Warmup = 500
-	}
-	if opts.Concurrency <= 0 {
-		opts.Concurrency = 4
-	}
+	opts.applyDefaults()
 	const query = "net bench probe"
 
-	// Phase 1: in-process direct conduit (the baseline).
-	directNs, err := measureSerial(core.NetworkOptions{
+	res := &NetBenchResult{
+		Benchmark:   "ForwardRoundTrip direct vs loopback TCP variants (NullBackend)",
+		Iterations:  opts.Iterations,
+		Concurrency: opts.Concurrency,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	// Variant 1: in-process direct conduit, serial (the floor).
+	direct, err := measureSerial(core.NetworkOptions{
 		Nodes:   2,
 		Seed:    opts.Seed,
 		Backend: core.NullBackend{},
@@ -80,41 +140,48 @@ func RunNetBench(opts NetBenchOptions) (*NetBenchResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("direct phase: %w", err)
 	}
+	direct.Name = "direct"
+	res.Variants = append(res.Variants, direct)
+	res.DirectNsPerOp = direct.NsPerOp
 
-	// Phase 2: the same exchange over loopback TCP, serial. The relay is
-	// discovered through the real join flow (bootstrap gossip exchange into
-	// the membership directory), not a static address map.
-	hook, cleanup, hookErr := withTCPStack(string(rps.Name(1)))
-	tcpNs, err := measureSerial(core.NetworkOptions{
-		Nodes:   2,
-		Seed:    opts.Seed,
-		Backend: core.NullBackend{},
-	}, hook, query, opts.Warmup, opts.Iterations)
-	cleanup()
-	if err == nil {
-		err = hookErr()
+	// Serial loopback TCP (not a named variant of its own: a lone writer is
+	// identical with and without coalescing, since an idle-writer flush is
+	// immediate either way). This is the RTT figure tcp_ns_per_op tracks.
+	serialTCP, err := measureSerialTCP(opts, query)
+	if err != nil {
+		return nil, fmt.Errorf("tcp serial phase: %w", err)
 	}
+	res.TCPNsPerOp = serialTCP.NsPerOp
+	res.TCPOpsPerSec = serialTCP.OpsPerSec
+	res.OverheadNsPerOp = serialTCP.NsPerOp - direct.NsPerOp
+
+	// Variants 2 and 3: Concurrency clients multiplexing over the shared
+	// pool — the pre-coalescing write path vs the coalesced one.
+	plain, err := measureConcurrent(opts, query, true)
 	if err != nil {
 		return nil, fmt.Errorf("tcp phase: %w", err)
 	}
+	plain.Name = "tcp"
+	res.Variants = append(res.Variants, plain)
 
-	// Phase 3: Concurrency clients multiplexing over the shared pool.
-	concOps, err := measureConcurrent(opts, query)
+	coalesce, err := measureConcurrent(opts, query, false)
 	if err != nil {
-		return nil, fmt.Errorf("tcp concurrent phase: %w", err)
+		return nil, fmt.Errorf("tcp+coalesce phase: %w", err)
 	}
+	coalesce.Name = "tcp+coalesce"
+	res.Variants = append(res.Variants, coalesce)
+	res.TCPConcurrentOpsPerSec = coalesce.OpsPerSec
 
-	return &NetBenchResult{
-		Benchmark:              "ForwardRoundTrip direct vs loopback TCP (NullBackend)",
-		Iterations:             opts.Iterations,
-		DirectNsPerOp:          directNs,
-		TCPNsPerOp:             tcpNs,
-		TCPOpsPerSec:           1e9 / tcpNs,
-		OverheadNsPerOp:        tcpNs - directNs,
-		Concurrency:            opts.Concurrency,
-		TCPConcurrentOpsPerSec: concOps,
-		GeneratedAt:            time.Now().UTC().Format(time.RFC3339),
-	}, nil
+	// Variant 4: the attested service plane with opportunistic query
+	// batching — many queries per securechan record.
+	batch, err := measureQueryBatch(opts, query)
+	if err != nil {
+		return nil, fmt.Errorf("tcp+coalesce+query-batch phase: %w", err)
+	}
+	batch.Name = "tcp+coalesce+query-batch"
+	res.Variants = append(res.Variants, batch)
+
+	return res, nil
 }
 
 // tcpStack is the loopback data plane of one benchmark phase: a
@@ -146,13 +213,19 @@ func (s *tcpStack) close() {
 // newTCPStack starts a loopback relay server (data plane over the direct
 // conduit, gossip plane under the relay's overlay identity) and a client
 // membership that joins it via -bootstrap semantics; the conduit resolves
-// relays through the resulting attestation directory.
-func newTCPStack(direct transport.Conduit, relayID string) (*tcpStack, error) {
+// relays through the resulting attestation directory. noCoalesce selects
+// the pre-coalescing write path on both ends (the A/B baseline).
+func newTCPStack(direct transport.Conduit, relayID string, noCoalesce bool) (*tcpStack, error) {
 	serverMem := nettrans.NewMembership(nettrans.MembershipConfig{
 		Self:       rps.Descriptor{ID: rps.NodeID(relayID)},
 		PoolConfig: nettrans.PoolConfig{ID: relayID},
 	})
-	srv := nettrans.NewServer(nettrans.ServerConfig{ID: "bench-relay-host", Handler: direct, Membership: serverMem})
+	srv := nettrans.NewServer(nettrans.ServerConfig{
+		ID:         "bench-relay-host",
+		Handler:    direct,
+		Membership: serverMem,
+		NoCoalesce: noCoalesce,
+	})
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		serverMem.Stop()
 		return nil, err
@@ -182,8 +255,12 @@ func newTCPStack(direct transport.Conduit, relayID string) (*tcpStack, error) {
 		return nil, fmt.Errorf("bootstrap exchange did not yield relay %s in the directory", relayID)
 	}
 	tcp := nettrans.NewTCPConduit(nettrans.ConduitConfig{
-		Resolve:    clientMem.Resolve,
-		PoolConfig: nettrans.PoolConfig{ID: "bench-pool", RequestTimeout: 30 * time.Second},
+		Resolve: clientMem.Resolve,
+		PoolConfig: nettrans.PoolConfig{
+			ID:             "bench-pool",
+			RequestTimeout: 30 * time.Second,
+			NoCoalesce:     noCoalesce,
+		},
 	})
 	return &tcpStack{server: srv, serverMem: serverMem, clientMem: clientMem, tcp: tcp}, nil
 }
@@ -194,59 +271,104 @@ func newTCPStack(direct transport.Conduit, relayID string) (*tcpStack, error) {
 // an error probe. NewNetwork's hook has no error path, so a failed listen
 // or join is parked in the probe — callers MUST check it, or a bench phase
 // would silently measure the in-process path and label it TCP.
-func withTCPStack(relayID string) (hook func(transport.Conduit) transport.Conduit, cleanup func(), hookErr func() error) {
+func withTCPStack(relayID string, noCoalesce bool) (hook func(transport.Conduit) transport.Conduit, stack func() *tcpStack, cleanup func(), hookErr func() error) {
 	var s *tcpStack
 	var err error
 	hook = func(direct transport.Conduit) transport.Conduit {
-		var stack *tcpStack
-		stack, err = newTCPStack(direct, relayID)
+		var st *tcpStack
+		st, err = newTCPStack(direct, relayID, noCoalesce)
 		if err != nil {
 			return direct
 		}
-		s = stack
-		return stack.tcp
+		s = st
+		return st.tcp
 	}
+	stack = func() *tcpStack { return s }
 	cleanup = func() {
 		if s != nil {
 			s.close()
 		}
 	}
 	hookErr = func() error { return err }
-	return hook, cleanup, hookErr
+	return hook, stack, cleanup, hookErr
 }
 
 // measureSerial times iterations closed-loop round trips on a fresh
-// network; hook (when non-nil) installs the transport under test.
-func measureSerial(netOpts core.NetworkOptions, hook func(transport.Conduit) transport.Conduit, query string, warmup, iterations int) (float64, error) {
+// network; hook (when non-nil) installs the transport under test. The first
+// exchange is timed separately (cold start) and warmup ops run unmeasured,
+// so NsPerOp reflects steady state only.
+func measureSerial(netOpts core.NetworkOptions, hook func(transport.Conduit) transport.Conduit, query string, warmup, iterations int) (NetBenchVariant, error) {
 	netOpts.Conduit = hook
 	net, err := core.NewNetwork(netOpts)
 	if err != nil {
-		return 0, err
+		return NetBenchVariant{}, err
 	}
 	ids := net.NodeIDs()
 	client, relay := net.Node(ids[0]), ids[1]
 	now := time.Unix(0, 0)
-	for i := 0; i < warmup; i++ {
+
+	coldStart := time.Now()
+	if err := net.RelayRoundTrip(client, relay, query, now); err != nil {
+		return NetBenchVariant{}, fmt.Errorf("cold start: %w", err)
+	}
+	coldNs := float64(time.Since(coldStart).Nanoseconds())
+
+	for i := 1; i < warmup; i++ {
 		if err := net.RelayRoundTrip(client, relay, query, now); err != nil {
-			return 0, fmt.Errorf("warmup: %w", err)
+			return NetBenchVariant{}, fmt.Errorf("warmup: %w", err)
 		}
 	}
+
+	// One timestamp per op: in a closed loop the gap between consecutive
+	// completions is exactly the op's duration, at half the clock cost.
+	lat := make([]float64, iterations)
 	start := time.Now()
+	last := start
 	for i := 0; i < iterations; i++ {
 		if err := net.RelayRoundTrip(client, relay, query, now); err != nil {
-			return 0, fmt.Errorf("iteration %d: %w", i, err)
+			return NetBenchVariant{}, fmt.Errorf("iteration %d: %w", i, err)
 		}
+		end := time.Now()
+		lat[i] = float64(end.Sub(last).Nanoseconds())
+		last = end
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(iterations), nil
+	elapsed := time.Since(start)
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(iterations)
+	return NetBenchVariant{
+		Concurrency: 1,
+		NsPerOp:     nsPerOp,
+		OpsPerSec:   1e9 / nsPerOp,
+		P50NsPerOp:  stats.Percentile(lat, 50),
+		P95NsPerOp:  stats.Percentile(lat, 95),
+		ColdStartNs: coldNs,
+		WarmupOps:   warmup,
+	}, nil
+}
+
+// measureSerialTCP runs the serial loopback-TCP measurement with coalescing
+// on (identical to off for a lone writer).
+func measureSerialTCP(opts NetBenchOptions, query string) (NetBenchVariant, error) {
+	hook, _, cleanup, hookErr := withTCPStack(string(rps.Name(1)), false)
+	defer cleanup()
+	v, err := measureSerial(core.NetworkOptions{
+		Nodes:   2,
+		Seed:    opts.Seed,
+		Backend: core.NullBackend{},
+	}, hook, query, opts.Warmup, opts.Iterations)
+	if err == nil {
+		err = hookErr()
+	}
+	return v, err
 }
 
 // measureConcurrent times opts.Concurrency clients multiplexing forwards to
-// one relay over the shared TCP pool, returning aggregate ops/s.
-func measureConcurrent(opts NetBenchOptions, query string) (float64, error) {
+// one relay over the shared TCP pool — with the pre-coalescing write path
+// (noCoalesce) or the coalesced one.
+func measureConcurrent(opts NetBenchOptions, query string, noCoalesce bool) (NetBenchVariant, error) {
 	// The relay is the highest-numbered node (ids are sorted); its identity
 	// is known before the network exists because overlay names are
 	// deterministic.
-	hook, cleanup, hookErr := withTCPStack(string(rps.Name(opts.Concurrency)))
+	hook, stack, cleanup, hookErr := withTCPStack(string(rps.Name(opts.Concurrency)), noCoalesce)
 	defer cleanup()
 	net, err := core.NewNetwork(core.NetworkOptions{
 		Nodes:   opts.Concurrency + 1,
@@ -255,10 +377,10 @@ func measureConcurrent(opts NetBenchOptions, query string) (float64, error) {
 		Conduit: hook,
 	})
 	if err != nil {
-		return 0, err
+		return NetBenchVariant{}, err
 	}
 	if err := hookErr(); err != nil {
-		return 0, err
+		return NetBenchVariant{}, err
 	}
 	ids := net.NodeIDs()
 	relay := ids[len(ids)-1]
@@ -269,6 +391,18 @@ func measureConcurrent(opts NetBenchOptions, query string) (float64, error) {
 	}
 	warmPer := opts.Warmup/opts.Concurrency + 1
 
+	// Cold start: the first exchange dials, exchanges hellos and attests the
+	// first securechan session — reported apart from the measured ops.
+	coldStart := time.Now()
+	if err := net.RelayRoundTrip(net.Node(ids[0]), relay, query, now); err != nil {
+		return NetBenchVariant{}, fmt.Errorf("cold start: %w", err)
+	}
+	coldNs := float64(time.Since(coldStart).Nanoseconds())
+
+	lats := make([][]float64, opts.Concurrency)
+	for c := range lats {
+		lats[c] = make([]float64, 0, perClient)
+	}
 	run := func(measured bool) error {
 		n := warmPer
 		if measured {
@@ -281,10 +415,18 @@ func measureConcurrent(opts NetBenchOptions, query string) (float64, error) {
 			go func(c int) {
 				defer wg.Done()
 				client := net.Node(ids[c])
+				last := time.Now()
 				for i := 0; i < n; i++ {
 					if err := net.RelayRoundTrip(client, relay, query, now); err != nil {
 						errCh <- fmt.Errorf("client %d iteration %d: %w", c, i, err)
 						return
+					}
+					if measured {
+						// Consecutive completions = per-op latency (closed
+						// loop, no think time) at one clock read per op.
+						end := time.Now()
+						lats[c] = append(lats[c], float64(end.Sub(last).Nanoseconds()))
+						last = end
 					}
 				}
 			}(c)
@@ -294,18 +436,164 @@ func measureConcurrent(opts NetBenchOptions, query string) (float64, error) {
 		return <-errCh
 	}
 	if err := run(false); err != nil {
-		return 0, fmt.Errorf("warmup: %w", err)
+		return NetBenchVariant{}, fmt.Errorf("warmup: %w", err)
 	}
+	before := stack().tcp.WriteStats()
 	start := time.Now()
 	if err := run(true); err != nil {
-		return 0, err
+		return NetBenchVariant{}, err
 	}
 	elapsed := time.Since(start)
-	return float64(perClient*opts.Concurrency) / elapsed.Seconds(), nil
+	after := stack().tcp.WriteStats()
+
+	totalOps := perClient * opts.Concurrency
+	all := make([]float64, 0, totalOps)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(totalOps)
+	v := NetBenchVariant{
+		Concurrency: opts.Concurrency,
+		NsPerOp:     nsPerOp,
+		OpsPerSec:   float64(totalOps) / elapsed.Seconds(),
+		P50NsPerOp:  stats.Percentile(all, 50),
+		P95NsPerOp:  stats.Percentile(all, 95),
+		ColdStartNs: coldNs,
+		WarmupOps:   warmPer * opts.Concurrency,
+	}
+	if df := after.Flushes - before.Flushes; df > 0 {
+		v.FramesPerFlush = float64(after.Frames-before.Frames) / float64(df)
+	}
+	return v, nil
 }
 
-// WriteJSON writes the result as indented JSON to path.
+// measureQueryBatch times opts.Concurrency callers issuing queries over one
+// batching service client against a relay daemon's attested query plane —
+// many queries per securechan record, the service-layer analogue of frame
+// coalescing.
+func measureQueryBatch(opts NetBenchOptions, query string) (NetBenchVariant, error) {
+	ias := enclave.NewIAS()
+	verifier := enclave.NewVerifier(ias, enclave.MeasureCode(core.EnclaveName, core.EnclaveVersion))
+	relayPlat := enclave.NewDeterministicPlatform("bench-relay", []byte("netbench"), ias)
+	hsRelay, err := securechan.NewHandshaker(relayPlat.New(enclave.Config{Name: core.EnclaveName, Version: core.EnclaveVersion}), verifier)
+	if err != nil {
+		return NetBenchVariant{}, err
+	}
+	srv := nettrans.NewServer(nettrans.ServerConfig{
+		ID:      "bench-service",
+		Service: &nettrans.RelayService{Handshaker: hsRelay, Backend: core.NullBackend{}, Source: "bench-service"},
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return NetBenchVariant{}, err
+	}
+	defer srv.Close()
+
+	clientPlat := enclave.NewDeterministicPlatform("bench-client", []byte("netbench"), ias)
+	hsClient, err := securechan.NewHandshaker(clientPlat.New(enclave.Config{Name: core.EnclaveName, Version: core.EnclaveVersion}), verifier)
+	if err != nil {
+		return NetBenchVariant{}, err
+	}
+
+	coldStart := time.Now()
+	c, err := nettrans.DialService(srv.Addr().String(), hsClient, nettrans.ClientConfig{
+		QueryBatching:  true,
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		return NetBenchVariant{}, err
+	}
+	defer c.Close()
+	if _, err := c.Query(query); err != nil {
+		return NetBenchVariant{}, fmt.Errorf("cold start: %w", err)
+	}
+	coldNs := float64(time.Since(coldStart).Nanoseconds())
+
+	perClient := opts.Iterations / opts.Concurrency
+	if perClient == 0 {
+		perClient = 1
+	}
+	warmPer := opts.Warmup/opts.Concurrency + 1
+	lats := make([][]float64, opts.Concurrency)
+	for i := range lats {
+		lats[i] = make([]float64, 0, perClient)
+	}
+	run := func(measured bool) error {
+		n := warmPer
+		if measured {
+			n = perClient
+		}
+		var wg sync.WaitGroup
+		errCh := make(chan error, opts.Concurrency)
+		for w := 0; w < opts.Concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				last := time.Now()
+				for i := 0; i < n; i++ {
+					if _, err := c.Query(query); err != nil {
+						errCh <- fmt.Errorf("caller %d iteration %d: %w", w, i, err)
+						return
+					}
+					if measured {
+						end := time.Now()
+						lats[w] = append(lats[w], float64(end.Sub(last).Nanoseconds()))
+						last = end
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errCh)
+		return <-errCh
+	}
+	if err := run(false); err != nil {
+		return NetBenchVariant{}, fmt.Errorf("warmup: %w", err)
+	}
+	before := c.WriteStats()
+	start := time.Now()
+	if err := run(true); err != nil {
+		return NetBenchVariant{}, err
+	}
+	elapsed := time.Since(start)
+	after := c.WriteStats()
+
+	totalOps := perClient * opts.Concurrency
+	all := make([]float64, 0, totalOps)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(totalOps)
+	v := NetBenchVariant{
+		Concurrency: opts.Concurrency,
+		NsPerOp:     nsPerOp,
+		OpsPerSec:   float64(totalOps) / elapsed.Seconds(),
+		P50NsPerOp:  stats.Percentile(all, 50),
+		P95NsPerOp:  stats.Percentile(all, 95),
+		ColdStartNs: coldNs,
+		WarmupOps:   warmPer * opts.Concurrency,
+	}
+	if df := after.Flushes - before.Flushes; df > 0 {
+		v.FramesPerFlush = float64(after.Frames-before.Frames) / float64(df)
+	}
+	return v, nil
+}
+
+// WriteJSON writes the result as indented JSON to path. When path already
+// holds a NetBenchResult, its summary is prepended to this result's history
+// (along with any history it carried), so the file accumulates the
+// throughput trajectory across runs.
 func (r *NetBenchResult) WriteJSON(path string) error {
+	if prev, err := os.ReadFile(path); err == nil {
+		var old NetBenchResult
+		if json.Unmarshal(prev, &old) == nil && old.GeneratedAt != "" {
+			hist := []NetBenchHistoryEntry{{
+				GeneratedAt:            old.GeneratedAt,
+				TCPConcurrentOpsPerSec: old.TCPConcurrentOpsPerSec,
+				TCPNsPerOp:             old.TCPNsPerOp,
+			}}
+			r.History = append(hist, old.History...)
+		}
+	}
 	b, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
@@ -315,8 +603,16 @@ func (r *NetBenchResult) WriteJSON(path string) error {
 
 // String renders the result for the terminal.
 func (r *NetBenchResult) String() string {
-	return fmt.Sprintf(
-		"Network transport (%s):\n  %d iterations per phase\n  direct   %8.0f ns/op\n  loopback %8.0f ns/op  (%.0f req/s single client, +%.0f ns TCP overhead)\n  %d clients multiplexed: %.0f req/s aggregate",
-		r.Benchmark, r.Iterations, r.DirectNsPerOp, r.TCPNsPerOp, r.TCPOpsPerSec,
-		r.OverheadNsPerOp, r.Concurrency, r.TCPConcurrentOpsPerSec)
+	s := fmt.Sprintf(
+		"Network transport (%s):\n  %d iterations per variant, %d clients in the multiplexed variants\n  direct   %8.0f ns/op\n  loopback %8.0f ns/op  (%.0f req/s single client, +%.0f ns TCP overhead)\n  tcp+coalesce multiplexed: %.0f req/s aggregate",
+		r.Benchmark, r.Iterations, r.Concurrency, r.DirectNsPerOp, r.TCPNsPerOp,
+		r.TCPOpsPerSec, r.OverheadNsPerOp, r.TCPConcurrentOpsPerSec)
+	for _, v := range r.Variants {
+		s += fmt.Sprintf("\n  %-26s c=%d  %9.0f ns/op  %9.0f ops/s  p50 %8.0f ns  p95 %8.0f ns",
+			v.Name, v.Concurrency, v.NsPerOp, v.OpsPerSec, v.P50NsPerOp, v.P95NsPerOp)
+		if v.FramesPerFlush > 0 {
+			s += fmt.Sprintf("  %.1f frames/flush", v.FramesPerFlush)
+		}
+	}
+	return s
 }

@@ -1,0 +1,149 @@
+package nettrans
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQueryBatchingRoundTrip drives the batched service plane end to end:
+// many concurrent queries over one batching client must all come back with
+// their own answers — including engine refusals, which must land on the
+// right stream even when batched alongside successes.
+func TestQueryBatchingRoundTrip(t *testing.T) {
+	srv, hs := startFlakyDaemon(t, 0)
+	c, err := DialService(srv.Addr().String(), hs, ClientConfig{QueryBatching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const callers = 48
+	var wg sync.WaitGroup
+	errCh := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%8 == 3 {
+				// Refusals ride the same batch records as successes.
+				if _, err := c.Query(fmt.Sprintf("refuse %d", i)); !errors.Is(err, ErrEngineRefused) {
+					errCh <- fmt.Errorf("caller %d: err = %v, want ErrEngineRefused", i, err)
+				}
+				return
+			}
+			results, err := c.Query(fmt.Sprintf("query %d", i))
+			if err != nil {
+				errCh <- fmt.Errorf("caller %d: %v", i, err)
+				return
+			}
+			if len(results) != 1 || results[0].Title != "t" {
+				errCh <- fmt.Errorf("caller %d: wrong results %v", i, results)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// The client write stats must show batching actually engaged: the
+	// preamble/attest frames plus the query records; strictly fewer flushes
+	// than 48 individual queries would cost is the point of the plane.
+	snap := c.WriteStats()
+	if snap.Frames == 0 || snap.Flushes == 0 {
+		t.Fatalf("no write activity recorded: %+v", snap)
+	}
+	t.Logf("client writes: %d frames over %d flushes", snap.Frames, snap.Flushes)
+}
+
+// TestQueryBatchingSerialLatency: a lone batching client pays no waiting —
+// each query goes out immediately as a one-entry batch.
+func TestQueryBatchingSerialLatency(t *testing.T) {
+	srv, hs := startFlakyDaemon(t, 0)
+	c, err := DialService(srv.Addr().String(), hs, ClientConfig{QueryBatching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Query("solo query"); err != nil {
+			t.Fatalf("serial query %d: %v", i, err)
+		}
+	}
+}
+
+// TestQueryBatchingSurvivesTimeouts: a stalled entry times out without
+// poisoning the other queries in its batch or the session.
+func TestQueryBatchingSurvivesTimeouts(t *testing.T) {
+	srv, hs := startFlakyDaemon(t, 300*time.Millisecond)
+	c, err := DialService(srv.Addr().String(), hs, ClientConfig{
+		QueryBatching:  true,
+		RequestTimeout: 80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 0 {
+				if _, err := c.Query("stall this one"); err == nil || !strings.Contains(err.Error(), "timed out") {
+					errCh <- fmt.Errorf("stalled query: err = %v, want timeout", err)
+				}
+				return
+			}
+			if _, err := c.Query(fmt.Sprintf("fast %d", i)); err != nil {
+				errCh <- fmt.Errorf("fast query %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	// The late answer for the stalled entry arrives inside a batch record;
+	// it must be dropped cleanly and the session must keep serving.
+	time.Sleep(400 * time.Millisecond)
+	if _, err := c.Query("after the late batch answer"); err != nil {
+		t.Fatalf("session did not survive the late batch answer: %v", err)
+	}
+}
+
+// TestQueryBatchRejectsHostileRecords drives the server-side batch parser
+// with malformed plaintext via a raw attested conn — the batched plane must
+// cut the connection, not panic or misroute.
+func TestQueryBatchHostileCount(t *testing.T) {
+	srv, hs := startFlakyDaemon(t, 0)
+	c, err := DialService(srv.Addr().String(), hs, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// An empty batch record (count 0) is a protocol violation: the server
+	// cuts the connection, which fails the client's next query.
+	if err := c.fc.writeSealedFrame(c.sess, frameQueryBatch, 0, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := c.Query("probe"); err != nil {
+			break // connection cut as required
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server accepted an empty batch record")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

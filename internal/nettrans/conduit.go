@@ -67,6 +67,10 @@ func NewTCPConduit(cfg ConduitConfig) *TCPConduit {
 	}
 }
 
+// WriteStats snapshots the underlying pool's aggregated write-path
+// counters (flushes, frames, bytes — the coalescing contention proxy).
+func (t *TCPConduit) WriteStats() WriteStatsSnapshot { return t.pool.WriteStats() }
+
 // Deliver implements transport.Conduit: one data frame out, one resp (or
 // err) frame back. Transport-level failures — unresolvable peer, dial
 // failure, backoff window, saturated pipe, timeout, connection cut — are

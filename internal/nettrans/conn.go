@@ -5,65 +5,171 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cyclosa/internal/securechan"
 )
 
-// defaultWriteTimeout bounds one frame write so a stalled peer cannot wedge
-// a writer goroutine (and the locks it holds) forever.
+// defaultWriteTimeout bounds one flush so a stalled peer cannot wedge the
+// flusher goroutine (and every writer queued behind it) forever.
 const defaultWriteTimeout = 30 * time.Second
 
-// frameConn frames a net.Conn: one writer-side mutex serializing frame
-// writes, one reader-side loop (single goroutine by construction) consuming
-// frames into pooled buffers.
+// defaultCoalesceMaxBytes bounds the bytes queued in one pending write
+// batch; writers beyond it block until the flusher drains.
+const defaultCoalesceMaxBytes = 256 << 10
+
+// deadlineSlack is the re-arm elision window: an armed deadline is reused
+// (no syscall) while less than a quarter of its budget has elapsed, so the
+// hot path pays one SetDeadline per burst instead of one per frame. The
+// effective bound stays within [3/4·d, d] of the configured duration.
+const deadlineSlack = 4
+
+// coalesceYieldRounds bounds the flush leader's cooperative linger: before
+// detaching a batch the leader yields the processor up to this many times so
+// writers that are already runnable can append their frames and share the
+// flush's syscall. The linger stops as soon as a round brings no new bytes,
+// so a lone writer pays one ~100ns scheduler round, not a wall-clock delay.
+// This is what makes coalescing engage on loopback (and any transport whose
+// writes never block): without it a writer finishes its own flush before it
+// ever yields, and the contention queue cannot form.
+const coalesceYieldRounds = 3
+
+// WriteStats counts the write path's coalescing behavior: how many frames
+// and bytes went out over how many flushes. FramesPerFlush is the
+// contention proxy the net benchmark reports — 1.0 means every frame paid
+// its own syscall (no write combining), higher means concurrent writers
+// shared flushes.
+type WriteStats struct {
+	flushes atomic.Uint64
+	frames  atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+// WriteStatsSnapshot is one point-in-time reading of a WriteStats.
+type WriteStatsSnapshot struct {
+	Flushes uint64
+	Frames  uint64
+	Bytes   uint64
+}
+
+// FramesPerFlush is the write-combining ratio (0 when nothing flushed).
+func (s WriteStatsSnapshot) FramesPerFlush() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.Frames) / float64(s.Flushes)
+}
+
+// Snapshot reads the counters.
+func (w *WriteStats) Snapshot() WriteStatsSnapshot {
+	return WriteStatsSnapshot{
+		Flushes: w.flushes.Load(),
+		Frames:  w.frames.Load(),
+		Bytes:   w.bytes.Load(),
+	}
+}
+
+// writeOptions tunes a frameConn's write path.
+type writeOptions struct {
+	// noCoalesce forces one flush per frame (the pre-coalescing write path),
+	// kept for A/B benchmark variants.
+	noCoalesce bool
+	// maxBatch bounds the pending batch bytes (default
+	// defaultCoalesceMaxBytes); writers block while the batch is over it.
+	maxBatch int
+	// delay, when > 0, lets the flush leader linger before flushing so more
+	// concurrent frames can join the batch. Default 0: flush immediately
+	// when the writer is idle — coalescing then comes only from frames that
+	// queue while a flush is in flight.
+	delay time.Duration
+	// timeout is the write deadline per flush (default defaultWriteTimeout;
+	// negative disables).
+	timeout time.Duration
+	// stats, when non-nil, aggregates flush counters (shared across the
+	// conns of one pool or server).
+	stats *WriteStats
+}
+
+func (o *writeOptions) applyDefaults() {
+	if o.maxBatch <= 0 {
+		o.maxBatch = defaultCoalesceMaxBytes
+	}
+	if o.timeout == 0 {
+		o.timeout = defaultWriteTimeout
+	} else if o.timeout < 0 {
+		o.timeout = 0
+	}
+	if o.stats == nil {
+		o.stats = &WriteStats{}
+	}
+}
+
+// frameConn frames a net.Conn: a coalescing group-commit write path (many
+// writers append encoded frames to a pending batch; one leader flushes the
+// whole batch in a single write) and one reader-side loop (single goroutine
+// by construction) consuming frames into pooled buffers.
+//
+// Write-path invariant: frames reach the socket in exactly the order they
+// were appended to the batch queue, and appends happen under wmu — so
+// anything serialized by wmu (in particular record encryption in
+// writeSealedFrame) keeps its order on the wire. A flush failure is sticky:
+// it poisons the connection for every queued and future writer.
 type frameConn struct {
 	c  net.Conn
 	br *bufio.Reader
 
-	wmu          chan struct{} // 1-slot semaphore (lockable across encrypt+write)
-	bw           *bufio.Writer
-	whdr         [headerSize]byte // guarded by wmu
-	writeTimeout time.Duration
+	wmu   sync.Mutex
+	wcond *sync.Cond
+	// wbuf is the pending batch: encoded frames (header + payload) queued
+	// for the next flush. wspare is its double buffer — the flusher swaps
+	// them so writers keep appending while a flush is on the wire.
+	wbuf     []byte
+	wspare   []byte
+	wgen     uint64 // generation of the pending batch (starts at 1)
+	wflushed uint64 // highest generation fully flushed
+	flushing bool   // a leader is running the flush loop
+	werr     error  // sticky write-path failure
+	wopts    writeOptions
+
+	// wArmedAt tracks the armed write deadline for re-arm elision and the
+	// idle-transition disarm. Flusher-owned (one flusher at a time).
+	wArmedAt time.Time
 
 	rhdr [headerSize]byte // reader-goroutine owned
-	// rDeadlineArmed remembers an absolute read deadline is set (deadlines
-	// persist until changed), so a deadline-free read can disarm it instead
-	// of dying of a stale timeout mid-session. Reader-goroutine owned.
-	rDeadlineArmed bool
-	maxFrame       int
+	// rArmedAt/rIdle remember the armed read deadline (deadlines persist
+	// until changed) so a deadline-free read can disarm it instead of dying
+	// of a stale timeout mid-session, and so hot-loop reads can skip the
+	// SetReadDeadline syscall while the armed deadline is still fresh.
+	// Reader-goroutine owned.
+	rArmedAt time.Time
+	rIdle    time.Duration
+	maxFrame int
 }
 
-func newFrameConn(c net.Conn, maxFrame int) *frameConn {
+func newFrameConn(c net.Conn, maxFrame int, wopts writeOptions) *frameConn {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
 	}
+	wopts.applyDefaults()
 	fc := &frameConn{
-		c:            c,
-		br:           bufio.NewReaderSize(c, 32<<10),
-		bw:           bufio.NewWriterSize(c, 32<<10),
-		wmu:          make(chan struct{}, 1),
-		writeTimeout: defaultWriteTimeout,
-		maxFrame:     maxFrame,
+		c:        c,
+		br:       bufio.NewReaderSize(c, 32<<10),
+		wgen:     1,
+		wopts:    wopts,
+		maxFrame: maxFrame,
 	}
+	fc.wcond = sync.NewCond(&fc.wmu)
 	return fc
 }
 
-func (fc *frameConn) lockWrite()   { fc.wmu <- struct{}{} }
-func (fc *frameConn) unlockWrite() { <-fc.wmu }
-
 // writeFrame writes one frame whose payload is the concatenation of parts.
-// Parts are copied to the socket during the call and never retained.
+// Parts are copied into the batch queue during the call and never retained.
+// The call returns once the frame is on the socket (or the flush that
+// carried it failed).
 func (fc *frameConn) writeFrame(typ frameType, stream uint64, parts ...[]byte) error {
-	fc.lockWrite()
-	defer fc.unlockWrite()
-	return fc.writeFrameLocked(typ, stream, parts...)
-}
-
-// writeFrameLocked is writeFrame for callers already holding the write
-// lock (the service path encrypts and writes under one acquisition so
-// record encryption order equals socket write order).
-func (fc *frameConn) writeFrameLocked(typ frameType, stream uint64, parts ...[]byte) error {
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -71,21 +177,194 @@ func (fc *frameConn) writeFrameLocked(typ frameType, stream uint64, parts ...[]b
 	if total > fc.maxFrame {
 		return fmt.Errorf("%w: %d > %d", ErrFrameOversize, total, fc.maxFrame)
 	}
-	putHeader(&fc.whdr, typ, stream, total)
-	if fc.writeTimeout > 0 {
-		if err := fc.c.SetWriteDeadline(time.Now().Add(fc.writeTimeout)); err != nil {
-			return err
-		}
-	}
-	if _, err := fc.bw.Write(fc.whdr[:]); err != nil {
+	fc.wmu.Lock()
+	if err := fc.waitWritable(total); err != nil {
+		fc.wmu.Unlock()
 		return err
 	}
+	var hdr [headerSize]byte
+	putHeader(&hdr, typ, stream, total)
+	fc.wbuf = append(fc.wbuf, hdr[:]...)
 	for _, p := range parts {
-		if _, err := fc.bw.Write(p); err != nil {
-			return err
+		fc.wbuf = append(fc.wbuf, p...)
+	}
+	return fc.commitFrame()
+}
+
+// writeSealedFrame encrypts plaintext on sess and queues it as one frame.
+// Encryption happens under the batch lock, so the record sequence order on
+// the session equals the frame order on the socket — the in-order delivery
+// the channel's counter nonces require, even with many streams in flight.
+// The ciphertext is encrypted directly into the batch buffer (a header
+// placeholder is patched once the record length is known), so the sealed
+// path adds no extra copy over the plain one.
+func (fc *frameConn) writeSealedFrame(sess *securechan.Session, typ frameType, stream uint64, plaintext []byte) error {
+	fc.wmu.Lock()
+	if err := fc.waitWritable(len(plaintext)); err != nil {
+		fc.wmu.Unlock()
+		return err
+	}
+	hdrOff := len(fc.wbuf)
+	var hdr [headerSize]byte
+	fc.wbuf = append(fc.wbuf, hdr[:]...)
+	out, err := sess.EncryptAppend(fc.wbuf, plaintext)
+	if err != nil {
+		fc.wbuf = fc.wbuf[:hdrOff]
+		fc.wmu.Unlock()
+		return err
+	}
+	recLen := len(out) - hdrOff - headerSize
+	if recLen > fc.maxFrame {
+		fc.wbuf = fc.wbuf[:hdrOff]
+		fc.wmu.Unlock()
+		return fmt.Errorf("%w: %d > %d", ErrFrameOversize, recLen, fc.maxFrame)
+	}
+	fc.wbuf = out
+	putHeader((*[headerSize]byte)(fc.wbuf[hdrOff:hdrOff+headerSize]), typ, stream, recLen)
+	return fc.commitFrame()
+}
+
+// waitWritable blocks (wmu held) until the frame may join the pending
+// batch: the connection is not poisoned, the batch is under its byte bound,
+// and — in no-coalesce mode — no other frame is queued or being flushed.
+func (fc *frameConn) waitWritable(hint int) error {
+	for {
+		if fc.werr != nil {
+			return fc.werr
+		}
+		switch {
+		case fc.wopts.noCoalesce && (fc.flushing || len(fc.wbuf) > 0):
+			// One flush per frame: wait for exclusive use of the batch.
+		case len(fc.wbuf) > 0 && len(fc.wbuf)+hint > fc.wopts.maxBatch:
+			// Backpressure: the batch is full; wait for the flusher.
+		default:
+			return nil
+		}
+		fc.wcond.Wait()
+	}
+}
+
+// commitFrame finishes a write after the frame bytes were appended under
+// wmu: the first writer into an idle queue becomes the flush leader and
+// drains the queue; everyone else waits for the flush that carries their
+// generation. Called with wmu held; always unlocks it.
+func (fc *frameConn) commitFrame() error {
+	fc.wopts.stats.frames.Add(1)
+	gen := fc.wgen
+	if fc.flushing {
+		// A leader is active: it will pick this batch up after the flush in
+		// flight. Wait for our generation (or the sticky failure).
+		for fc.wflushed < gen && fc.werr == nil {
+			fc.wcond.Wait()
+		}
+		var err error
+		if fc.wflushed < gen {
+			err = fc.werr
+		}
+		fc.wmu.Unlock()
+		return err
+	}
+	fc.flushing = true
+	return fc.flushLoop(gen)
+}
+
+// flushLoop is the leader side of the group commit: repeatedly detach the
+// pending batch and write it in one call, until the queue is empty or a
+// flush fails. Called with wmu held; returns the outcome of the batch
+// carrying the leader's own frame (ownGen) and always unlocks wmu.
+func (fc *frameConn) flushLoop(ownGen uint64) error {
+	var ownErr error
+	for {
+		if fc.wopts.delay > 0 && fc.wflushed+1 == fc.wgen {
+			// Optional linger: give concurrent writers a window to join the
+			// batch before it is detached. Off by default — an idle writer
+			// flushes immediately.
+			fc.wmu.Unlock()
+			time.Sleep(fc.wopts.delay)
+			fc.wmu.Lock()
+		}
+		if !fc.wopts.noCoalesce {
+			// Cooperative linger: yield before detaching so writers that are
+			// runnable right now join this batch instead of paying their own
+			// flush. Bounded, and abandoned the moment a round adds nothing.
+			for i := 0; i < coalesceYieldRounds; i++ {
+				before := len(fc.wbuf)
+				if before >= fc.wopts.maxBatch {
+					break
+				}
+				fc.wmu.Unlock()
+				runtime.Gosched()
+				fc.wmu.Lock()
+				if len(fc.wbuf) == before {
+					break
+				}
+			}
+		}
+		batch := fc.wbuf
+		gen := fc.wgen
+		fc.wbuf = fc.wspare[:0]
+		fc.wspare = nil
+		fc.wgen++
+		fc.wmu.Unlock()
+
+		err := fc.flushBytes(batch)
+
+		fc.wmu.Lock()
+		fc.wspare = batch[:0]
+		if err != nil {
+			if gen <= ownGen {
+				ownErr = err
+			}
+			fc.werr = err
+			fc.flushing = false
+			fc.wcond.Broadcast()
+			fc.wmu.Unlock()
+			return ownErr
+		}
+		fc.wflushed = gen
+		if len(fc.wbuf) == 0 || fc.werr != nil {
+			// Going idle: disarm the write deadline so the stale one cannot
+			// fire mid-write after an idle gap (the write-side mirror of the
+			// read path's deadline-free disarm). Done before handing off the
+			// flusher role so no new leader can race the disarm.
+			fc.disarmWriteDeadline()
+			fc.flushing = false
+			fc.wcond.Broadcast()
+			fc.wmu.Unlock()
+			return ownErr
+		}
+		fc.wcond.Broadcast()
+	}
+}
+
+// flushBytes writes one detached batch to the socket. Runs outside wmu —
+// writers keep queueing into the next batch while this one is on the wire.
+func (fc *frameConn) flushBytes(batch []byte) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if d := fc.wopts.timeout; d > 0 {
+		now := time.Now()
+		if fc.wArmedAt.IsZero() || now.Sub(fc.wArmedAt) > d/deadlineSlack {
+			if err := fc.c.SetWriteDeadline(now.Add(d)); err != nil {
+				return err
+			}
+			fc.wArmedAt = now
 		}
 	}
-	return fc.bw.Flush()
+	fc.wopts.stats.flushes.Add(1)
+	fc.wopts.stats.bytes.Add(uint64(len(batch)))
+	_, err := fc.c.Write(batch)
+	return err
+}
+
+// disarmWriteDeadline clears an armed write deadline (wmu held, flusher
+// role still owned).
+func (fc *frameConn) disarmWriteDeadline() {
+	if !fc.wArmedAt.IsZero() {
+		fc.c.SetWriteDeadline(time.Time{}) //nolint:errcheck // best-effort disarm on a conn going idle
+		fc.wArmedAt = time.Time{}
+	}
 }
 
 // writeErrFrame reports a failed exchange on a stream.
@@ -97,40 +376,28 @@ func (fc *frameConn) writeErrFrame(stream uint64, code byte, msg string) error {
 	return err
 }
 
-// writeSealedFrame encrypts plaintext on sess and writes it as one frame,
-// holding the write lock across both so the record sequence order on the
-// session equals the frame order on the socket — the in-order delivery the
-// channel's counter nonces require, even with many streams in flight.
-func (fc *frameConn) writeSealedFrame(sess *securechan.Session, typ frameType, stream uint64, plaintext []byte) error {
-	fc.lockWrite()
-	defer fc.unlockWrite()
-	buf := getFrame()
-	record, err := sess.EncryptAppend((*buf)[:0], plaintext)
-	if err != nil {
-		putFrame(buf)
-		return err
-	}
-	*buf = record
-	err = fc.writeFrameLocked(typ, stream, record)
-	putFrame(buf)
-	return err
-}
-
 // readFrame reads one frame into a pooled buffer. The caller owns the
 // returned buffer and must putFrame it. idle > 0 arms a read deadline
 // covering the whole frame; idle <= 0 disarms any deadline a previous read
-// (the dial/hello/attest phase) left behind.
+// (the dial/hello/attest phase) left behind. An already-armed deadline for
+// the same idle window is reused while fresh (re-arm elision), so hot-loop
+// reads skip the syscall; the effective idle bound stays within
+// [3/4·idle, idle].
 func (fc *frameConn) readFrame(idle time.Duration) (header, *[]byte, error) {
 	if idle > 0 {
-		if err := fc.c.SetReadDeadline(time.Now().Add(idle)); err != nil {
-			return header{}, nil, err
+		now := time.Now()
+		if fc.rArmedAt.IsZero() || idle != fc.rIdle || now.Sub(fc.rArmedAt) > idle/deadlineSlack {
+			if err := fc.c.SetReadDeadline(now.Add(idle)); err != nil {
+				return header{}, nil, err
+			}
+			fc.rArmedAt = now
+			fc.rIdle = idle
 		}
-		fc.rDeadlineArmed = true
-	} else if fc.rDeadlineArmed {
+	} else if !fc.rArmedAt.IsZero() {
 		if err := fc.c.SetReadDeadline(time.Time{}); err != nil {
 			return header{}, nil, err
 		}
-		fc.rDeadlineArmed = false
+		fc.rArmedAt = time.Time{}
 	}
 	if _, err := io.ReadFull(fc.br, fc.rhdr[:]); err != nil {
 		return header{}, nil, err

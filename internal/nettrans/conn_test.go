@@ -1,0 +1,317 @@
+package nettrans
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentWritersFrameIntegrity is the coalesced-path safety test: N
+// goroutines writing interleaved frames through one conn must produce a
+// byte stream that parses into exactly the frames sent — no tearing, no
+// interleaving inside a frame, per-stream order preserved. Payload bytes
+// are derived from (writer, seq) so any cross-frame corruption is caught
+// byte-for-byte. Run under -race in CI.
+func TestConcurrentWritersFrameIntegrity(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	var stats WriteStats
+	wc := newFrameConn(b, DefaultMaxFrame, writeOptions{timeout: -1, stats: &stats})
+	rc := newFrameConn(a, DefaultMaxFrame, writeOptions{})
+
+	const writers = 8
+	const perWriter = 64
+
+	// payload: writer(4B) seq(4B) then a deterministic variable-length filler.
+	mkPayload := func(writer, seq int) []byte {
+		n := (writer*31 + seq*7) % 512
+		p := make([]byte, 8+n)
+		binary.BigEndian.PutUint32(p[0:4], uint32(writer))
+		binary.BigEndian.PutUint32(p[4:8], uint32(seq))
+		for i := range p[8:] {
+			p[8+i] = byte(writer ^ seq ^ i)
+		}
+		return p
+	}
+
+	errCh := make(chan error, writers+1)
+	go func() {
+		nextSeq := make(map[uint64]int)
+		for i := 0; i < writers*perWriter; i++ {
+			h, buf, err := rc.readFrame(5 * time.Second)
+			if err != nil {
+				errCh <- fmt.Errorf("read %d: %w", i, err)
+				return
+			}
+			if h.typ != frameData {
+				errCh <- fmt.Errorf("frame %d: type %d, want data", i, h.typ)
+				return
+			}
+			writer := int(h.stream - 1)
+			seq := nextSeq[h.stream]
+			nextSeq[h.stream] = seq + 1
+			if want := mkPayload(writer, seq); !bytes.Equal(*buf, want) {
+				errCh <- fmt.Errorf("stream %d frame %d: payload corrupted (%d bytes, want %d)",
+					h.stream, seq, len(*buf), len(want))
+				putFrame(buf)
+				return
+			}
+			putFrame(buf)
+		}
+		errCh <- nil
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stream := uint64(w + 1)
+			for seq := 0; seq < perWriter; seq++ {
+				p := mkPayload(w, seq)
+				// Alternate between single-part and split-part writes so the
+				// multi-part append path is exercised under contention too.
+				var err error
+				if seq%2 == 0 {
+					err = wc.writeFrame(frameData, stream, p)
+				} else {
+					err = wc.writeFrame(frameData, stream, p[:4], p[4:])
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("writer %d seq %d: %w", w, seq, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	snap := stats.Snapshot()
+	if snap.Frames != writers*perWriter {
+		t.Fatalf("stats counted %d frames, want %d", snap.Frames, writers*perWriter)
+	}
+	if snap.Flushes == 0 || snap.Flushes > snap.Frames {
+		t.Fatalf("implausible flush count %d for %d frames", snap.Flushes, snap.Frames)
+	}
+	// net.Pipe writes block until read, so while one flush is on the wire
+	// concurrent writers pile into the next batch: at least one flush must
+	// have carried more than one frame.
+	if snap.Flushes == snap.Frames {
+		t.Fatalf("no write combining observed: %d flushes for %d frames", snap.Flushes, snap.Frames)
+	}
+	t.Logf("coalescing: %d frames over %d flushes (%.1f frames/flush)",
+		snap.Frames, snap.Flushes, snap.FramesPerFlush())
+}
+
+// TestNoCoalesceWritesFramePerFlush pins the A/B benchmark variant: with
+// coalescing off every frame pays exactly one flush.
+func TestNoCoalesceWritesFramePerFlush(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	var stats WriteStats
+	wc := newFrameConn(b, DefaultMaxFrame, writeOptions{noCoalesce: true, timeout: -1, stats: &stats})
+	go io.Copy(io.Discard, a) //nolint:errcheck
+
+	const frames = 10
+	for i := 0; i < frames; i++ {
+		if err := wc.writeFrame(frameData, 1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap := stats.Snapshot(); snap.Flushes != frames || snap.Frames != frames {
+		t.Fatalf("no-coalesce stats = %+v, want %d flushes for %d frames", snap, frames, frames)
+	}
+}
+
+// TestWriteDeadlineDisarmedAfterIdleGap is the write-side stale-deadline
+// regression (the mirror of PR 4's read-side fix): a flush arms a write
+// deadline, and net.Conn deadlines persist until changed — so a conn going
+// idle used to keep its last deadline armed. A later phase writing without
+// deadlines (timeout 0, like the read path's readFrame(0)) would then die
+// of the leftover timeout the moment the peer was slow to read. The conn
+// must survive an idle gap longer than the write timeout followed by a
+// slow-start write.
+func TestWriteDeadlineDisarmedAfterIdleGap(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := newFrameConn(b, DefaultMaxFrame, writeOptions{timeout: 100 * time.Millisecond})
+
+	frame1 := make([]byte, headerSize+3)
+	r1 := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(a, frame1)
+		r1 <- err
+	}()
+	if err := fc.writeFrame(frameData, 1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-r1; err != nil {
+		t.Fatal(err)
+	}
+
+	// Idle well past the write timeout: the deadline armed for frame one has
+	// expired by now. It must have been disarmed when the flusher went idle.
+	time.Sleep(250 * time.Millisecond)
+
+	// Deadline-free phase: without the disarm, this write fails instantly
+	// with the expired deadline instead of waiting for the slow reader.
+	fc.wopts.timeout = 0
+	r2 := make(chan error, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond) // slow-start reader
+		buf := make([]byte, headerSize+3)
+		_, err := io.ReadFull(a, buf)
+		r2 <- err
+	}()
+	if err := fc.writeFrame(frameData, 2, []byte("two")); err != nil {
+		t.Fatalf("write after idle gap: %v (stale write deadline not disarmed?)", err)
+	}
+	if err := <-r2; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteErrorIsSticky: a failed flush poisons the connection for every
+// later writer instead of silently dropping frames.
+func TestWriteErrorIsSticky(t *testing.T) {
+	a, b := net.Pipe()
+	fc := newFrameConn(b, DefaultMaxFrame, writeOptions{timeout: -1})
+	a.Close() // peer gone: the first flush fails
+	if err := fc.writeFrame(frameData, 1, []byte("x")); err == nil {
+		t.Fatal("write to closed pipe succeeded")
+	}
+	if err := fc.writeFrame(frameData, 2, []byte("y")); err == nil {
+		t.Fatal("write after sticky failure succeeded")
+	}
+	b.Close()
+}
+
+// TestBatchedWriteAllocs pins the coalesced write path at zero allocations
+// per frame in steady state: header encode, batch append and flush all run
+// in reused buffers. Deadlines are disabled because net.Pipe allocates a
+// runtime timer per SetWriteDeadline — the pin is about the batching path
+// itself.
+func TestBatchedWriteAllocs(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := newFrameConn(b, DefaultMaxFrame, writeOptions{timeout: -1})
+	go io.Copy(io.Discard, a) //nolint:errcheck
+
+	payload := bytes.Repeat([]byte{0x42}, 512)
+	// Warm the batch buffers so growth is behind us.
+	for i := 0; i < 64; i++ {
+		if err := fc.writeFrame(frameData, 7, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := fc.writeFrame(frameData, 7, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("batched write path allocates %.1f per frame, want 0", allocs)
+	}
+}
+
+// TestWriteFrameOversizeDoesNotPoison: an oversize rejection is a caller
+// error, not a transport failure — the conn keeps working.
+func TestWriteFrameOversizeDoesNotPoison(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := newFrameConn(b, 1024, writeOptions{timeout: -1})
+	if err := fc.writeFrame(frameData, 1, make([]byte, 2048)); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("err = %v, want ErrFrameOversize", err)
+	}
+	go io.Copy(io.Discard, a) //nolint:errcheck
+	if err := fc.writeFrame(frameData, 1, []byte("fits")); err != nil {
+		t.Fatalf("conn poisoned by oversize rejection: %v", err)
+	}
+}
+
+// TestShardedStreamTable covers the sharded multiplexing table: IDs are
+// unique across shards, delivery routes to the right waiter, teardown is
+// exactly-once and fails everything.
+func TestShardedStreamTable(t *testing.T) {
+	st := newShardedStreamTable[int](4)
+	type pend struct {
+		id uint64
+		ch chan int
+	}
+	var ps []pend
+	seen := make(map[uint64]bool)
+	for i := 0; i < 64; i++ {
+		id, ch, err := st.register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate stream id %d", id)
+		}
+		seen[id] = true
+		ps = append(ps, pend{id, ch})
+	}
+	if st.idle() {
+		t.Fatal("idle with 64 pending streams")
+	}
+	for i, p := range ps[:32] {
+		if !st.deliver(p.id, i) {
+			t.Fatalf("deliver %d found no waiter", p.id)
+		}
+		if got := <-p.ch; got != i {
+			t.Fatalf("stream %d got %d, want %d", p.id, got, i)
+		}
+	}
+	if st.deliver(ps[0].id, 99) {
+		t.Fatal("double delivery accepted")
+	}
+
+	// Concurrent teardown: exactly one closer wins.
+	terr := errors.New("down")
+	var wg sync.WaitGroup
+	killed := make(chan bool, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			killed <- st.close(terr, func(e error) int { return -1 })
+		}()
+	}
+	wg.Wait()
+	close(killed)
+	wins := 0
+	for k := range killed {
+		if k {
+			wins++
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d closers reported the kill, want exactly 1", wins)
+	}
+	for _, p := range ps[32:] {
+		if got := <-p.ch; got != -1 {
+			t.Fatalf("pending stream %d got %d, want teardown value", p.id, got)
+		}
+	}
+	if _, _, err := st.register(); !errors.Is(err, terr) {
+		t.Fatalf("register after close: %v, want %v", err, terr)
+	}
+	if st.alive() {
+		t.Fatal("alive after close")
+	}
+}

@@ -42,9 +42,19 @@ const (
 	// frameView is the membership introspection exchange: empty request out,
 	// JSON ViewSnapshot back on the same stream.
 	frameView frameType = 10
+	// frameQueryBatch carries one sealed record holding several client
+	// queries (count + {stream, query} entries), amortizing AES-GCM and
+	// socket writes across concurrent callers. frameAnswerBatch is its
+	// response shape: one sealed record of {stream, errMsg, results}
+	// entries. Both ride stream 0 — the routing stream IDs live inside the
+	// authenticated record, not the cleartext header. Added in PR 6,
+	// backward-additive like frameGossip: an older peer rejects the type
+	// (and the connection) rather than misparsing it.
+	frameQueryBatch  frameType = 11
+	frameAnswerBatch frameType = 12
 
 	// frameTypeMax bounds the known types; anything above is rejected.
-	frameTypeMax = frameView
+	frameTypeMax = frameAnswerBatch
 )
 
 // maxGossipLen bounds a gossip or view frame payload: a view buffer is

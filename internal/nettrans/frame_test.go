@@ -163,7 +163,7 @@ func TestConnRejectsHostileStream(t *testing.T) {
 			a.Write(raw)
 			a.Close()
 		}()
-		fc := newFrameConn(b, DefaultMaxFrame)
+		fc := newFrameConn(b, DefaultMaxFrame, writeOptions{})
 		_, buf, err := fc.readFrame(time.Second)
 		if buf != nil {
 			putFrame(buf)
@@ -205,7 +205,7 @@ func TestWriteFrameRejectsOversizePayload(t *testing.T) {
 	a, b := net.Pipe()
 	defer a.Close()
 	defer b.Close()
-	fc := newFrameConn(b, 1024)
+	fc := newFrameConn(b, 1024, writeOptions{})
 	if err := fc.writeFrame(frameData, 1, make([]byte, 2048)); !errors.Is(err, ErrFrameOversize) {
 		t.Fatalf("err = %v, want ErrFrameOversize", err)
 	}

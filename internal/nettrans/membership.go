@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -191,7 +193,10 @@ func (m *Membership) Bootstrap() error {
 }
 
 // Start launches the gossip loop: one view exchange with the oldest-known
-// peer every Interval. Stop ends it.
+// peer roughly every Interval, with per-node jitter of ±Interval/4 drawn
+// each round. A fleet bootstrapped together would otherwise tick in
+// lockstep and hammer the seeds at every interval boundary; jittered
+// periods decorrelate within a few rounds. Stop ends the loop.
 func (m *Membership) Start() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -203,17 +208,34 @@ func (m *Membership) Start() {
 	m.loopStop, m.loopDone = stop, done
 	go func() {
 		defer close(done)
-		ticker := time.NewTicker(m.cfg.Interval)
-		defer ticker.Stop()
+		// Seed per-node so two nodes with identical start times still draw
+		// different periods; fall back on the rng being distinct per process
+		// is not enough when a whole fleet shares one binary and boot script.
+		h := fnv.New64a()
+		h.Write([]byte(m.cfg.Self.ID))
+		rng := rand.New(rand.NewSource(int64(h.Sum64())))
+		timer := time.NewTimer(m.jitteredInterval(rng))
+		defer timer.Stop()
 		for {
 			select {
-			case <-ticker.C:
+			case <-timer.C:
 				m.Round()
+				timer.Reset(m.jitteredInterval(rng))
 			case <-stop:
 				return
 			}
 		}
 	}()
+}
+
+// jitteredInterval draws the next gossip period: Interval ± Interval/4.
+func (m *Membership) jitteredInterval(rng *rand.Rand) time.Duration {
+	d := m.cfg.Interval
+	j := d / 4
+	if j <= 0 {
+		return d
+	}
+	return d - j + time.Duration(rng.Int63n(int64(2*j)+1))
 }
 
 // Round runs one active gossip round (exported so tests and the daemon's

@@ -47,6 +47,16 @@ type PoolConfig struct {
 	// (defaults 50 ms and 5 s).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// NoCoalesce disables write coalescing: every frame pays its own flush
+	// (the pre-coalescing behavior, kept for A/B benchmarking).
+	NoCoalesce bool
+	// CoalesceMaxBytes bounds the pending write batch per connection
+	// (default 256 KiB); writers block while the batch is over it.
+	CoalesceMaxBytes int
+	// CoalesceDelay, when > 0, lets an idle-writer flush linger briefly so
+	// concurrent frames can join the batch. Default 0: flush immediately
+	// when the writer is idle, coalesce only under contention.
+	CoalesceDelay time.Duration
 }
 
 func (cfg *PoolConfig) applyDefaults() {
@@ -77,7 +87,8 @@ func (cfg *PoolConfig) applyDefaults() {
 // demand, reconnect with exponential backoff, reap idle connections, and
 // bound the number of in-flight streams per pipe.
 type Pool struct {
-	cfg PoolConfig
+	cfg    PoolConfig
+	wstats WriteStats // aggregated across all of the pool's connections
 
 	mu     sync.Mutex
 	peers  map[string]*peerState
@@ -109,7 +120,7 @@ type poolConn struct {
 	fc   *frameConn
 	addr string
 
-	st       streamTable[callResult]
+	st       *shardedStreamTable[callResult]
 	draining atomic.Bool // peer sent goaway: no new streams
 
 	sem     chan struct{} // MaxPending backpressure
@@ -125,6 +136,29 @@ type poolConn struct {
 // maxConsecutiveTimeouts retires a connection that stopped answering.
 const maxConsecutiveTimeouts = 3
 
+// timerPool recycles the per-exchange wait timers (RoundTrip, Query,
+// backpressure) so the hot path doesn't start a fresh runtime timer per
+// exchange. A timer is stopped and drained before going back.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
 // NewPool builds a pool.
 func NewPool(cfg PoolConfig) *Pool {
 	cfg.applyDefaults()
@@ -134,6 +168,9 @@ func NewPool(cfg PoolConfig) *Pool {
 		janitorStop: make(chan struct{}),
 	}
 }
+
+// WriteStats snapshots the pool's aggregated write-path counters.
+func (p *Pool) WriteStats() WriteStatsSnapshot { return p.wstats.Snapshot() }
 
 // RoundTrip sends one frame (payload = concatenation of parts) on the
 // peer's connection and waits for the response frame on the same stream.
@@ -152,8 +189,8 @@ func (p *Pool) RoundTrip(addr string, typ frameType, parts ...[]byte) (header, *
 		return header{}, nil, fmt.Errorf("nettrans: write to %s: %w", addr, err)
 	}
 
-	t := time.NewTimer(p.cfg.RequestTimeout)
-	defer t.Stop()
+	t := getTimer(p.cfg.RequestTimeout)
+	defer putTimer(t)
 	select {
 	case res := <-ch:
 		pc.lastUse.Store(time.Now().UnixNano())
@@ -194,11 +231,12 @@ func (p *Pool) claimStream(addr string) (*poolConn, uint64, chan callResult, err
 		select {
 		case pc.sem <- struct{}{}:
 		default:
-			t := time.NewTimer(p.cfg.RequestTimeout)
+			t := getTimer(p.cfg.RequestTimeout)
 			select {
 			case pc.sem <- struct{}{}:
-				t.Stop()
+				putTimer(t)
 			case <-t.C:
+				putTimer(t)
 				return nil, 0, nil, fmt.Errorf("%w: %s", ErrPipeFull, addr)
 			}
 		}
@@ -273,7 +311,12 @@ func (p *Pool) dial(addr string) (*poolConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nettrans: dial %s: %w", addr, err)
 	}
-	fc := newFrameConn(nc, p.cfg.MaxFrame)
+	fc := newFrameConn(nc, p.cfg.MaxFrame, writeOptions{
+		noCoalesce: p.cfg.NoCoalesce,
+		maxBatch:   p.cfg.CoalesceMaxBytes,
+		delay:      p.cfg.CoalesceDelay,
+		stats:      &p.wstats,
+	})
 	id := p.cfg.ID
 	if id == "" {
 		id = nc.LocalAddr().String()
@@ -289,6 +332,7 @@ func (p *Pool) dial(addr string) (*poolConn, error) {
 	pc := &poolConn{
 		fc:   fc,
 		addr: addr,
+		st:   newShardedStreamTable[callResult](defaultStreamShards()),
 		sem:  make(chan struct{}, p.cfg.MaxPending),
 	}
 	pc.lastUse.Store(time.Now().UnixNano())

@@ -41,6 +41,15 @@ type ServerConfig struct {
 	// DrainTimeout bounds the graceful drain on Close (default 5 s): after
 	// it, in-flight exchanges are abandoned and connections closed hard.
 	DrainTimeout time.Duration
+	// NoCoalesce disables response write coalescing: every frame pays its
+	// own flush (the pre-coalescing behavior, kept for A/B benchmarking).
+	NoCoalesce bool
+	// CoalesceMaxBytes bounds the pending write batch per connection
+	// (default 256 KiB).
+	CoalesceMaxBytes int
+	// CoalesceDelay, when > 0, lets an idle-writer flush linger briefly so
+	// concurrent responses can join the batch (default 0: immediate).
+	CoalesceDelay time.Duration
 	// Logf, when non-nil, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -69,11 +78,18 @@ func (cfg *ServerConfig) applyDefaults() {
 // Server accepts frame-protocol connections and serves the conduit data
 // plane and/or the attested query service over them.
 type Server struct {
-	cfg ServerConfig
-	ln  net.Listener
+	cfg    ServerConfig
+	ln     net.Listener
+	wstats WriteStats // aggregated across all connections
 
 	sem      chan struct{}
 	inflight sync.WaitGroup
+
+	// workCh hands dispatched exchanges to lingering workers, so a steady
+	// request rate reuses a small set of goroutines instead of spawning one
+	// per exchange; workersStop (closed on Close) reaps idle workers.
+	workCh      chan func()
+	workersStop chan struct{}
 
 	mu     sync.Mutex
 	conns  map[*frameConn]struct{}
@@ -83,16 +99,25 @@ type Server struct {
 	loopDone chan struct{} // closed when the accept loop exits
 }
 
+// workerLinger is how long an idle dispatch worker waits for more work
+// before exiting.
+const workerLinger = 500 * time.Millisecond
+
 // NewServer builds a server; call Start (or Listen + Serve) to run it.
 func NewServer(cfg ServerConfig) *Server {
 	cfg.applyDefaults()
 	return &Server{
-		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.MaxInFlight),
-		conns:    make(map[*frameConn]struct{}),
-		loopDone: make(chan struct{}),
+		cfg:         cfg,
+		sem:         make(chan struct{}, cfg.MaxInFlight),
+		workCh:      make(chan func()),
+		workersStop: make(chan struct{}),
+		conns:       make(map[*frameConn]struct{}),
+		loopDone:    make(chan struct{}),
 	}
 }
+
+// WriteStats snapshots the server's aggregated write-path counters.
+func (s *Server) WriteStats() WriteStatsSnapshot { return s.wstats.Snapshot() }
 
 // Listen binds the listen socket (addr like "127.0.0.1:0") without serving
 // yet; Serve runs the accept loop.
@@ -198,7 +223,10 @@ func (s *Server) unregister(fc *frameConn) {
 
 // dispatch runs work on a bounded worker slot. It returns false when the
 // server is draining (the work is not run). Acquiring the slot blocks the
-// calling read loop — bounded in-flight work is the backpressure.
+// calling read loop — bounded in-flight work is the backpressure. The work
+// is handed to an idle lingering worker when one is waiting; a fresh
+// goroutine is spawned only when none is (and it lingers afterwards), so a
+// steady request rate pays the goroutine start cost once, not per exchange.
 func (s *Server) dispatch(work func()) bool {
 	s.sem <- struct{}{}
 	s.mu.Lock()
@@ -209,19 +237,51 @@ func (s *Server) dispatch(work func()) bool {
 	}
 	s.inflight.Add(1)
 	s.mu.Unlock()
-	go func() {
+	job := func() {
 		defer func() {
 			<-s.sem
 			s.inflight.Done()
 		}()
 		work()
-	}()
+	}
+	select {
+	case s.workCh <- job:
+	default:
+		go s.worker(job)
+	}
 	return true
+}
+
+// worker runs one job, then lingers on the work channel so the next
+// dispatch can reuse this goroutine instead of starting a new one.
+func (s *Server) worker(job func()) {
+	job()
+	t := getTimer(workerLinger)
+	defer putTimer(t)
+	for {
+		select {
+		case j := <-s.workCh:
+			j()
+			if !t.Stop() {
+				<-t.C
+			}
+			t.Reset(workerLinger)
+		case <-t.C:
+			return
+		case <-s.workersStop:
+			return
+		}
+	}
 }
 
 // serveConn runs one connection: hello exchange, then the frame loop.
 func (s *Server) serveConn(nc net.Conn) {
-	fc := newFrameConn(nc, s.cfg.MaxFrame)
+	fc := newFrameConn(nc, s.cfg.MaxFrame, writeOptions{
+		noCoalesce: s.cfg.NoCoalesce,
+		maxBatch:   s.cfg.CoalesceMaxBytes,
+		delay:      s.cfg.CoalesceDelay,
+		stats:      &s.wstats,
+	})
 	if !s.register(fc) {
 		fc.Close()
 		return
@@ -310,6 +370,31 @@ func (s *Server) serveConn(nc net.Conn) {
 				// Same drain rule as data frames: refuse, don't cut.
 				if fc.writeErrFrame(h.stream, errCodeUnavailable, "server draining") != nil {
 					return
+				}
+				continue
+			}
+		case frameQueryBatch:
+			if svc == nil || !svc.attested() {
+				putFrame(buf)
+				s.cfg.Logf("nettrans: %s: query batch before attestation", nc.RemoteAddr())
+				return
+			}
+			// Same read-loop decrypt rule as single queries: records open in
+			// arrival order, then the engine work for the whole batch is one
+			// dispatch.
+			work, streams, err := svc.prepareQueryBatch(h, *buf)
+			putFrame(buf)
+			if err != nil {
+				s.cfg.Logf("nettrans: %s: query batch: %v", nc.RemoteAddr(), err)
+				return
+			}
+			if !s.dispatch(work) {
+				// Refuse each batched query on its own stream — the routing
+				// IDs live inside the record, not the frame header.
+				for _, stream := range streams {
+					if fc.writeErrFrame(stream, errCodeUnavailable, "server draining") != nil {
+						return
+					}
 				}
 				continue
 			}
@@ -431,6 +516,8 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 
+	// Reap idle dispatch workers; ones mid-job finish it (inflight below).
+	close(s.workersStop)
 	if ln != nil {
 		ln.Close()
 	}

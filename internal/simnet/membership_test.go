@@ -8,8 +8,13 @@ import (
 // TestMembershipConvergence is the convergence property test of the gossip
 // control plane: 64 nodes bootstrapped from only 2 seeds, 10% message loss,
 // must reach a connected view graph within a bounded number of rounds —
-// deterministically under the seed.
+// deterministically under the seed. The per-seed rounds are pinned exactly:
+// the simulation is round-driven (wall-clock scheduling such as the live
+// plane's gossip jitter cannot reach it), so any drift in these values means
+// a protocol change altered convergence behavior — a regression to explain,
+// not noise to absorb.
 func TestMembershipConvergence(t *testing.T) {
+	convergedAt := map[int64]int{1: 2, 7: 4, 42: 4}
 	for _, seed := range []int64{1, 7, 42} {
 		rep, err := MembershipChurn(MembershipOptions{
 			Seed:     seed,
@@ -24,9 +29,9 @@ func TestMembershipConvergence(t *testing.T) {
 		if bad := rep.Check(); len(bad) > 0 {
 			t.Fatalf("seed %d: %s", seed, strings.Join(bad, "; "))
 		}
-		const bound = 25
-		if rep.ConvergedAt == 0 || rep.ConvergedAt > bound {
-			t.Fatalf("seed %d: converged at round %d, want <= %d", seed, rep.ConvergedAt, bound)
+		if rep.ConvergedAt != convergedAt[seed] {
+			t.Fatalf("seed %d: converged at round %d, want exactly %d (convergence regression?)",
+				seed, rep.ConvergedAt, convergedAt[seed])
 		}
 		if rep.MinInDegree == 0 {
 			t.Fatalf("seed %d: some node ended with in-degree 0", seed)
