@@ -11,13 +11,21 @@
 //	cyclosa-bench -exp net -json BENCH_net.json
 //	cyclosa-bench -exp gossip -json BENCH_gossip.json
 //	cyclosa-bench -exp chaos -seed 7 -workload zipf -chaos-intensity 2
+//	cyclosa-bench -exp backend -json BENCH_backend.json
 //
 // Experiments: table1, crowd, table2, fig5, fig6, fig7, fig8a, fig8b,
-// fig8c, fig8d, loadtest, relay, net, gossip, chaos, all (everything except
-// the real-time fig8c, loadtest, relay and net unless explicitly
-// requested). The gossip experiment measures the membership control plane:
-// convergence of a seeded overlay, re-convergence under churn, and the
-// blacklist no-re-entry invariant.
+// fig8c, fig8d, loadtest, relay, net, gossip, chaos, backend, all
+// (everything except the real-time fig8c, loadtest, relay, net and backend
+// unless explicitly requested). The gossip experiment measures the
+// membership control plane: convergence of a seeded overlay, re-convergence
+// under churn, and the blacklist no-re-entry invariant.
+//
+// The backend experiment runs the engine-brownout chaos driver: up to 30%
+// of the overlay's backends degrade (errors, hangs, latency spikes) behind
+// the internal/backend resilience stack while a concurrent workload
+// measures availability and tail latency; the process exits non-zero if a
+// brownout invariant (no blacklisting for engine failures, >= 95%
+// availability, full recovery) is violated. -json emits BENCH_backend.json.
 //
 // The chaos experiment drives the internal/simnet fault-injection layer:
 // a seed-derived crash/restart/partition schedule plus per-delivery drops,
@@ -66,7 +74,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cyclosa-bench", flag.ContinueOnError)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|chaos|loadtest|relay|net|gossip|all")
+		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|chaos|backend|loadtest|relay|net|gossip|all")
 		seed        = fs.Int64("seed", 1, "random seed")
 		users       = fs.Int("users", 198, "workload users (paper: 198)")
 		mean        = fs.Int("mean-queries", 120, "mean queries per user")
@@ -94,7 +102,7 @@ func run(args []string) error {
 	})
 
 	want := strings.ToLower(*exp)
-	needWorld := want != "table1" && want != "loadtest" && want != "relay" && want != "chaos" && want != "net"
+	needWorld := want != "table1" && want != "loadtest" && want != "relay" && want != "chaos" && want != "net" && want != "backend"
 
 	var world *eval.World
 	if needWorld {
@@ -261,6 +269,23 @@ func run(args []string) error {
 			fmt.Println(r)
 			return nil
 		}},
+		{"backend", func() error {
+			r, err := eval.RunBackendBench(eval.BackendBenchOptions{Seed: *seed})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			if *jsonOut != "" {
+				if err := r.WriteJSON(*jsonOut); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+			}
+			if r.Failed() {
+				return fmt.Errorf("backend: brownout invariants violated (seed %d replays the failure)", *seed)
+			}
+			return nil
+		}},
 		{"chaos", func() error {
 			r, err := eval.RunChaos(eval.ChaosOptions{
 				Seed:      *seed,
@@ -285,7 +310,7 @@ func run(args []string) error {
 		if want != "all" && want != e.name {
 			continue
 		}
-		if want == "all" && (e.name == "fig8c" || e.name == "loadtest" || e.name == "relay" || e.name == "net") {
+		if want == "all" && (e.name == "fig8c" || e.name == "loadtest" || e.name == "relay" || e.name == "net" || e.name == "backend") {
 			fmt.Printf("%s: skipped in -exp all (real-time load test); run -exp %s explicitly\n", e.name, e.name)
 			continue
 		}

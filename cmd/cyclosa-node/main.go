@@ -11,6 +11,8 @@
 //	cyclosa-node -mode client -connect host:7844 -n 100 -concurrency 8
 //	cyclosa-node -mode view -connect host:7844                # view introspection
 //	cyclosa-node -mode demo                                   # daemon + client in one process
+//	cyclosa-node -mode node -engine-timeout 500ms -engine-retries 1 \
+//	             -engine-breaker-threshold 0.5 -engine-max-inflight 32
 //
 // The daemon serves the attested query service: each connection runs one
 // remote-attestation handshake, then any number of in-flight queries
@@ -35,7 +37,11 @@
 // Intel's platform provisioning, letting every side reconstruct the
 // attestation roots. The daemon answers from its local simulated search
 // engine; in a production deployment this is the TLS connection to the real
-// engine originating inside the enclave.
+// engine originating inside the enclave. The engine sits behind the
+// internal/backend resilience stack (deadline, retries, circuit breaker,
+// overload shedding), tuned by the -engine-* flags; out-of-range values are
+// rejected at start-up with usage, and the stack's live counters appear in
+// `-mode view` output.
 package main
 
 import (
@@ -52,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"cyclosa/internal/backend"
 	"cyclosa/internal/core"
 	"cyclosa/internal/enclave"
 	"cyclosa/internal/nettrans"
@@ -86,8 +93,28 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 		advertise   = fs.String("advertise", "", "address gossiped to peers (default: the bound listen address)")
 		gossipEvery = fs.Duration("gossip-interval", time.Second, "gossip round period")
 		iasSecret   = fs.String("ias-secret", "cyclosa-demo", "shared attestation provisioning secret")
+
+		engineTimeout  = fs.Duration("engine-timeout", 800*time.Millisecond, "daemon: total per-query engine budget (attempts, backoffs and retries all inside it)")
+		engineRetries  = fs.Int("engine-retries", 2, "daemon: max engine retries per query (0 disables retrying)")
+		engineBreaker  = fs.Float64("engine-breaker-threshold", 0.5, "daemon: engine failure rate in (0, 1] that opens the circuit breaker")
+		engineInflight = fs.Int("engine-max-inflight", 64, "daemon: concurrent engine calls admitted before shedding with engine-overloaded")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Reject out-of-range resilience settings loudly: a daemon silently
+	// falling back to defaults would mask an operator typo until the next
+	// brownout.
+	engine := backend.Policy{
+		Timeout:          *engineTimeout,
+		MaxRetries:       *engineRetries,
+		BreakerThreshold: *engineBreaker,
+		MaxInFlight:      *engineInflight,
+	}
+	if err := engine.Validate(); err != nil {
+		fs.SetOutput(os.Stderr)
+		fs.Usage()
 		return err
 	}
 
@@ -101,6 +128,7 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 			bootstrap:   splitPeers(*bootstrap),
 			advertise:   *advertise,
 			gossipEvery: *gossipEvery,
+			engine:      engine,
 		}, ready, stop)
 	case "client":
 		return runClient(env, *connect, *query, *n, *concurrency, *seed)
@@ -111,7 +139,7 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 		stopCh := make(chan struct{})
 		errCh := make(chan error, 1)
 		go func() {
-			errCh <- runNode(env, nodeConfig{listen: "127.0.0.1:0", id: *id, seed: *seed}, readyCh, stopCh)
+			errCh <- runNode(env, nodeConfig{listen: "127.0.0.1:0", id: *id, seed: *seed, engine: engine}, readyCh, stopCh)
 		}()
 		select {
 		case addr := <-readyCh:
@@ -176,6 +204,7 @@ type nodeConfig struct {
 	bootstrap   []string
 	advertise   string
 	gossipEvery time.Duration
+	engine      backend.Policy
 }
 
 // runNode runs the long-running relay daemon until a signal (or stop
@@ -194,6 +223,10 @@ func runNode(env *attestationEnv, cfg nodeConfig, ready chan<- string, stop <-ch
 	}
 	uni := queries.NewUniverse(queries.UniverseConfig{Seed: cfg.seed})
 	engine := searchengine.New(uni, searchengine.Config{Seed: cfg.seed})
+	// The engine answers from behind the full resilience stack: deadline,
+	// retries, breaker, admission gate — so a browned-out engine degrades
+	// this daemon's answers instead of wedging its connections.
+	stack := backend.NewStack(engine, cfg.engine)
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "node: "+format+"\n", args...)
@@ -226,12 +259,15 @@ func runNode(env *attestationEnv, cfg nodeConfig, ready chan<- string, stop <-ch
 		Attest:     attest,
 		PoolConfig: nettrans.PoolConfig{ID: cfg.id, DialTimeout: 3 * time.Second, RequestTimeout: 5 * time.Second},
 		Logf:       logf,
+		// Surface the stack's counters in every view snapshot so `-mode
+		// view` shows brownout state (shed, retries, breaker) live.
+		BackendStats: stack.Stats,
 	})
 	defer membership.Stop()
 
 	srv := nettrans.NewServer(nettrans.ServerConfig{
 		ID:         cfg.id,
-		Service:    &nettrans.RelayService{Handshaker: hs, Backend: engine, Source: cfg.id},
+		Service:    &nettrans.RelayService{Handshaker: hs, Backend: stack, Source: cfg.id},
 		Membership: membership,
 		Logf:       logf,
 	})
@@ -304,6 +340,16 @@ func runView(w io.Writer, addr string) error {
 	}
 	if len(snap.Blacklisted) > 0 {
 		fmt.Fprintf(w, "blacklisted: %s\n", strings.Join(snap.Blacklisted, ", "))
+	}
+	if b := snap.Backend; b != nil {
+		state := "closed"
+		if b.BreakerOpen {
+			state = "OPEN"
+		}
+		fmt.Fprintf(w, "backend: %d calls (%d ok, %d engine-errors, %d timeouts), %d shed, %d retried, %d in flight\n",
+			b.Calls, b.Successes, b.EngineErrors, b.Timeouts, b.Shed, b.Retries, b.InFlight)
+		fmt.Fprintf(w, "breaker: %s (%d opens, %d rejected, open %v total)\n",
+			state, b.BreakerOpens, b.BreakerRejected, time.Duration(b.BreakerOpenNanos).Round(time.Millisecond))
 	}
 	return nil
 }

@@ -136,6 +136,50 @@ func TestBootstrapDiscovery(t *testing.T) {
 	if !strings.Contains(out, "node-b") || !strings.Contains(out, "ATTESTED") {
 		t.Fatalf("view rendering missing peer table:\n%s", out)
 	}
+	// The daemon's engine runs behind the resilience stack, so the view
+	// must carry its counters (the served query above is in there).
+	if !strings.Contains(out, "backend:") || !strings.Contains(out, "breaker:") {
+		t.Fatalf("view rendering missing backend stack state:\n%s", out)
+	}
+}
+
+// TestBadEngineFlags: out-of-range resilience settings must fail loudly
+// (non-zero exit via run's error) instead of silently defaulting.
+func TestBadEngineFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero timeout", []string{"-mode", "demo", "-engine-timeout", "0s"}, "engine timeout"},
+		{"negative timeout", []string{"-mode", "demo", "-engine-timeout", "-1s"}, "engine timeout"},
+		{"negative retries", []string{"-mode", "demo", "-engine-retries", "-1"}, "engine retries"},
+		{"threshold zero", []string{"-mode", "demo", "-engine-breaker-threshold", "0"}, "breaker threshold"},
+		{"threshold above one", []string{"-mode", "demo", "-engine-breaker-threshold", "1.5"}, "breaker threshold"},
+		{"zero inflight", []string{"-mode", "demo", "-engine-max-inflight", "0"}, "max-inflight"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, nil, nil)
+			if err == nil {
+				t.Fatalf("args %v accepted, want validation error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the bad flag (want %q)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEngineFlagsAccepted: in-range settings reach the daemon (the demo
+// round trip still works with a tightened policy).
+func TestEngineFlagsAccepted(t *testing.T) {
+	args := []string{"-mode", "demo", "-seed", "3",
+		"-engine-timeout", "250ms", "-engine-retries", "0",
+		"-engine-breaker-threshold", "0.9", "-engine-max-inflight", "2"}
+	if err := run(args, nil, nil); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestNoSeedReachable: a daemon whose every bootstrap seed is down must

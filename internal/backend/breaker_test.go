@@ -1,0 +1,209 @@
+package backend
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestBreaker() *breaker {
+	b := &breaker{}
+	b.init(Policy{
+		BreakerThreshold:  0.5,
+		BreakerMinSamples: 4,
+		BreakerWindow:     800 * time.Millisecond,
+		BreakerCooldown:   100 * time.Millisecond,
+	}.withDefaults())
+	return b
+}
+
+// feed records one allowed call outcome at t.
+func feed(t *testing.T, b *breaker, success bool, at time.Time) {
+	t.Helper()
+	ok, probe := b.allow(at)
+	if !ok {
+		t.Fatalf("allow denied at %v while feeding", at)
+	}
+	b.record(success, probe, at)
+}
+
+// TestBreakerClosedToOpen: the circuit trips only once the window holds
+// MinSamples and the failure rate crosses the threshold.
+func TestBreakerClosedToOpen(t *testing.T) {
+	b := newTestBreaker()
+	at := time.Unix(1000, 0)
+
+	// Three failures: below MinSamples, still closed.
+	for i := 0; i < 3; i++ {
+		feed(t, b, false, at)
+	}
+	if b.state.Load() != breakerClosed {
+		t.Fatal("breaker tripped below MinSamples")
+	}
+	// Fourth sample (a success — 3/4 failures >= 0.5) trips it.
+	feed(t, b, true, at)
+	if b.state.Load() != breakerOpen {
+		t.Fatal("breaker must open at threshold with MinSamples reached")
+	}
+	if b.opens.Load() != 1 {
+		t.Fatalf("opens = %d, want 1", b.opens.Load())
+	}
+	// Open: everything denied during the cooldown.
+	if ok, _ := b.allow(at.Add(10 * time.Millisecond)); ok {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+}
+
+// TestBreakerMostlySuccessStaysClosed: a failure rate under the threshold
+// (25% against 0.5) never trips the circuit, however many samples arrive.
+func TestBreakerMostlySuccessStaysClosed(t *testing.T) {
+	b := newTestBreaker()
+	at := time.Unix(1000, 0)
+	for i := 0; i < 40; i++ {
+		success := i%4 != 0 // one failure in four
+		feed(t, b, success, at.Add(time.Duration(i)*time.Millisecond))
+	}
+	if b.state.Load() != breakerClosed {
+		t.Fatal("25% failure rate tripped a 50% threshold")
+	}
+	if b.opens.Load() != 0 {
+		t.Fatalf("opens = %d, want 0", b.opens.Load())
+	}
+}
+
+// TestBreakerHalfOpenProbeSuccessCloses: cooldown -> half-open admits one
+// probe; its success closes the circuit with a reset window.
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	b := newTestBreaker()
+	at := time.Unix(1000, 0)
+	for i := 0; i < 4; i++ {
+		feed(t, b, false, at)
+	}
+	after := at.Add(150 * time.Millisecond) // past the 100ms cooldown
+
+	ok, probe := b.allow(after)
+	if !ok || !probe {
+		t.Fatalf("post-cooldown allow = (%v, probe %v), want (true, true)", ok, probe)
+	}
+	// Single-flight: while the probe is out, everyone else is denied.
+	if ok, _ := b.allow(after); ok {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+	b.record(true, true, after.Add(5*time.Millisecond))
+	if b.state.Load() != breakerClosed {
+		t.Fatal("successful probe must close the circuit")
+	}
+	// The outage's failures were wiped: four fresh failures re-trip, fewer
+	// don't.
+	for i := 0; i < 3; i++ {
+		feed(t, b, false, after.Add(10*time.Millisecond))
+	}
+	if b.state.Load() != breakerClosed {
+		t.Fatal("window must reset on close; stale failures re-tripped it")
+	}
+}
+
+// TestBreakerHalfOpenProbeFailureReopens: a failed probe returns to open
+// with a fresh cooldown.
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b := newTestBreaker()
+	at := time.Unix(1000, 0)
+	for i := 0; i < 4; i++ {
+		feed(t, b, false, at)
+	}
+	after := at.Add(150 * time.Millisecond)
+	ok, probe := b.allow(after)
+	if !ok || !probe {
+		t.Fatal("want the probe")
+	}
+	b.record(false, true, after.Add(5*time.Millisecond))
+	if b.state.Load() != breakerOpen {
+		t.Fatal("failed probe must reopen the circuit")
+	}
+	if b.opens.Load() != 1 {
+		t.Fatalf("a reopen is the same outage, opens = %d, want 1", b.opens.Load())
+	}
+	// Fresh cooldown: denied right after the reopen, probed again later.
+	if ok, _ := b.allow(after.Add(20 * time.Millisecond)); ok {
+		t.Fatal("reopen must restart the cooldown")
+	}
+	if ok, probe := b.allow(after.Add(200 * time.Millisecond)); !ok || !probe {
+		t.Fatal("second cooldown must admit another probe")
+	}
+}
+
+// TestBreakerProbeSingleFlightConcurrent: many goroutines racing into the
+// half-open transition must yield exactly one probe.
+func TestBreakerProbeSingleFlightConcurrent(t *testing.T) {
+	b := newTestBreaker()
+	at := time.Unix(1000, 0)
+	for i := 0; i < 4; i++ {
+		feed(t, b, false, at)
+	}
+	after := at.Add(150 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	probes := make(chan bool, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok, probe := b.allow(after)
+			if ok {
+				probes <- probe
+			}
+		}()
+	}
+	wg.Wait()
+	close(probes)
+	admitted, probeCount := 0, 0
+	for p := range probes {
+		admitted++
+		if p {
+			probeCount++
+		}
+	}
+	if admitted != 1 || probeCount != 1 {
+		t.Fatalf("half-open admitted %d calls (%d probes), want exactly 1 probe", admitted, probeCount)
+	}
+}
+
+// TestBreakerWindowExpiry: failures older than the window stop counting —
+// an engine that recovered hours ago must not trip on one new failure.
+func TestBreakerWindowExpiry(t *testing.T) {
+	b := newTestBreaker()
+	at := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		feed(t, b, false, at)
+	}
+	// A full window later, the old failures have aged out: one more failure
+	// is sample 1 of a fresh window, not the trip point.
+	later := at.Add(2 * time.Second)
+	feed(t, b, false, later)
+	if b.state.Load() != breakerClosed {
+		t.Fatal("aged-out failures still tripped the breaker")
+	}
+}
+
+// TestBreakerOpenStateAccounting: open time accumulates across the outage
+// and stops at close.
+func TestBreakerOpenStateAccounting(t *testing.T) {
+	b := newTestBreaker()
+	at := time.Unix(1000, 0)
+	for i := 0; i < 4; i++ {
+		feed(t, b, false, at)
+	}
+	open, nanos := b.openState(at.Add(50 * time.Millisecond))
+	if !open || nanos != int64(50*time.Millisecond) {
+		t.Fatalf("mid-outage openState = (%v, %v), want (true, 50ms)", open, time.Duration(nanos))
+	}
+	ok, probe := b.allow(at.Add(150 * time.Millisecond))
+	if !ok || !probe {
+		t.Fatal("want the probe")
+	}
+	b.record(true, true, at.Add(160*time.Millisecond))
+	open, nanos = b.openState(at.Add(500 * time.Millisecond))
+	if open || nanos != int64(160*time.Millisecond) {
+		t.Fatalf("post-close openState = (%v, %v), want (false, 160ms)", open, time.Duration(nanos))
+	}
+}

@@ -1,0 +1,34 @@
+// Package backend hardens the relay's search-engine seam: a composable
+// decorator stack over the one-method engine interface (core.Backend) that
+// adds per-call deadline enforcement, retry with exponential backoff, full
+// jitter and a retry budget, a closed/open/half-open circuit breaker with
+// single-flight probe admission, and a concurrency-limited admission gate
+// that sheds excess load with a typed error instead of queuing unboundedly.
+//
+// The decorator order inside Stack.Search is fixed:
+//
+//	admission gate -> circuit breaker -> retry -> deadline watchdog -> engine
+//
+// The gate rejects first (an overloaded engine must fail fast, not enqueue),
+// the breaker short-circuits a known-bad engine before any work is spent,
+// the retry loop re-submits transient failures within the remaining budget,
+// and the watchdog bounds every individual engine call so a hung engine
+// cannot wedge a relay goroutine — an abandoned call keeps holding its
+// in-flight slot until the engine actually returns, which is exactly the
+// back-pressure signal that makes sustained hangs shed.
+//
+// Failure taxonomy (wire-stable — the Error() text of each sentinel is the
+// prefix a requester classifies by, see FromWire):
+//
+//	ErrEngineOverloaded  "engine-overloaded"   shed by the admission gate
+//	ErrEngineTimeout     "engine-timeout"      deadline exhausted
+//	ErrEngineUnavailable "engine-unavailable"  circuit breaker open
+//
+// Engine failures are the relay being honest about a bad backend; they must
+// never be charged to the relay as misbehavior. internal/core's retry layer
+// uses this taxonomy to re-sample a different relay without blacklisting.
+//
+// Faulty is the package's seeded fault injector (latency spikes, error
+// bursts, hangs, switchable brownout), the engine-side counterpart of
+// internal/simnet's delivery faults.
+package backend

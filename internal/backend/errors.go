@@ -1,0 +1,54 @@
+package backend
+
+import (
+	"errors"
+	"strings"
+)
+
+// The engine-failure taxonomy. The Error() strings double as wire prefixes:
+// a relay's engine error travels to the requester as a plain string inside
+// the response frame (core's EngineError field, nettrans' answer entries),
+// and FromWire recovers the class from that string. Changing these texts is
+// a wire-compatibility break — old relays would stop being classifiable.
+var (
+	// ErrEngineOverloaded is returned by the admission gate when the engine
+	// already has the configured maximum of calls in flight. It fails fast
+	// by construction: no engine work happens, no queueing.
+	ErrEngineOverloaded = errors.New("engine-overloaded")
+	// ErrEngineTimeout is returned when the per-call budget elapses before
+	// the engine answers (including time burnt by retries and backoff).
+	ErrEngineTimeout = errors.New("engine-timeout")
+	// ErrEngineUnavailable is returned while the circuit breaker is open:
+	// the engine failed enough recently that calls are refused outright
+	// until a probe succeeds.
+	ErrEngineUnavailable = errors.New("engine-unavailable")
+)
+
+// wireError carries a classified engine failure recovered from its wire
+// string: Error() reproduces the original message, Unwrap() exposes the
+// taxonomy sentinel so errors.Is works across the network boundary.
+type wireError struct {
+	msg   string
+	class error
+}
+
+func (e *wireError) Error() string { return e.msg }
+func (e *wireError) Unwrap() error { return e.class }
+
+// FromWire reconstructs a typed engine failure from the string form it
+// traveled the network as. A message carrying one of the taxonomy prefixes
+// comes back wrapping the matching sentinel (errors.Is(err,
+// ErrEngineOverloaded) etc.); anything else is returned as an opaque engine
+// error. The result is never nil for a non-empty message; an empty message
+// yields nil (no engine failure).
+func FromWire(msg string) error {
+	if msg == "" {
+		return nil
+	}
+	for _, class := range []error{ErrEngineOverloaded, ErrEngineTimeout, ErrEngineUnavailable} {
+		if strings.HasPrefix(msg, class.Error()) {
+			return &wireError{msg: msg, class: class}
+		}
+	}
+	return errors.New(msg)
+}

@@ -40,6 +40,11 @@ type NetworkOptions struct {
 	Seed int64
 	// Backend is the search engine relays forward to.
 	Backend Backend
+	// BackendFor, when non-nil, builds each node's backend and overrides
+	// Backend. Per-node backends are the deployment reality (every relay
+	// fronts its own engine connection) and what lets robustness layers —
+	// circuit breakers, fault injectors — track one engine per relay.
+	BackendFor func(nodeID string) Backend
 	// LatencyModel samples link latencies (DefaultModel(Seed) if nil).
 	LatencyModel *transport.Model
 	// AnalyzerFor builds the per-node sensitivity analyzer; nil gives nodes
@@ -80,6 +85,7 @@ type NetworkOptions struct {
 type Network struct {
 	// Immutable after NewNetwork returns.
 	engine         Backend
+	engineFor      func(nodeID string) Backend
 	model          *transport.Model
 	ias            *enclave.IAS
 	verifier       *enclave.Verifier
@@ -168,6 +174,7 @@ func NewNetwork(opts NetworkOptions) (*Network, error) {
 	net := &Network{
 		dead:             make(map[string]struct{}),
 		engine:           opts.Backend,
+		engineFor:        opts.BackendFor,
 		model:            opts.LatencyModel,
 		ias:              ias,
 		verifier:         verifier,
@@ -214,12 +221,16 @@ func (net *Network) buildNode(id string, seq int64) (*Node, error) {
 	if net.analyzerFor != nil {
 		analyzer = net.analyzerFor(id)
 	}
+	engine := net.engine
+	if net.engineFor != nil {
+		engine = net.engineFor(id)
+	}
 	node, err := newNode(NodeOptions{
 		ID:        id,
 		Analyzer:  analyzer,
 		TableSize: net.tableSize,
 		Seed:      net.seed + seq*104729,
-	}, platform, net.verifier, net.rpsNet.Node(rps.NodeID(id)), net.engine, net)
+	}, platform, net.verifier, net.rpsNet.Node(rps.NodeID(id)), engine, net)
 	if err != nil {
 		return nil, err
 	}

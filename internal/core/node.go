@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cyclosa/internal/backend"
 	"cyclosa/internal/enclave"
 	"cyclosa/internal/rps"
 	"cyclosa/internal/searchengine"
@@ -76,6 +77,11 @@ type NodeStats struct {
 	// Misbehaved counts forwards rejected for tampering, replay or garbage
 	// responses (each one also blacklists the relay involved).
 	Misbehaved uint64
+	// EngineFailed counts forwards answered by a live relay whose engine
+	// failed (error, timeout, shed or open breaker). The relay behaved —
+	// the retry layer re-samples a different relay without blacklisting or
+	// misbehavior-charging the honest one.
+	EngineFailed uint64
 }
 
 // nodeCounters is the lock-free internal form of NodeStats: every counter is
@@ -88,6 +94,7 @@ type nodeCounters struct {
 	engineErrors atomic.Uint64
 	blacklisted  atomic.Uint64
 	misbehaved   atomic.Uint64
+	engineFailed atomic.Uint64
 }
 
 func (c *nodeCounters) snapshot() NodeStats {
@@ -98,6 +105,7 @@ func (c *nodeCounters) snapshot() NodeStats {
 		EngineErrors: c.engineErrors.Load(),
 		Blacklisted:  c.blacklisted.Load(),
 		Misbehaved:   c.misbehaved.Load(),
+		EngineFailed: c.engineFailed.Load(),
 	}
 }
 
@@ -155,7 +163,11 @@ type Node struct {
 	peers      *rps.Node
 	state      *enclaveState // reachable only via ecalls in relay flow
 	backend    Backend
-	net        *Network
+	// budgeted is backend when it threads deadlines (a resilience stack);
+	// nil for bare backends. Cached at build time so the forward hot path
+	// pays no per-call type assertion.
+	budgeted budgetedBackend
+	net      *Network
 
 	// mu guards rng (the only remaining mutable non-atomic client state;
 	// counters are atomics so relays never contend on a client's mutex).
@@ -182,7 +194,15 @@ type NodeOptions struct {
 	RelayTimeout time.Duration
 }
 
-func newNode(opts NodeOptions, platform *enclave.Platform, verifier *enclave.Verifier, peers *rps.Node, backend Backend, net *Network) (*Node, error) {
+// budgetedBackend is the optional deadline-threading surface of a backend
+// (backend.Stack implements it): the relay passes its remaining forward
+// timeout down so the engine stack never outlives the requester's patience
+// and an engine hang cannot masquerade as a dead relay.
+type budgetedBackend interface {
+	SearchBudget(source, query string, now time.Time, budget time.Duration) ([]searchengine.Result, error)
+}
+
+func newNode(opts NodeOptions, platform *enclave.Platform, verifier *enclave.Verifier, peers *rps.Node, be Backend, net *Network) (*Node, error) {
 	if opts.RelayTimeout == 0 {
 		opts.RelayTimeout = time.Second
 	}
@@ -201,10 +221,13 @@ func newNode(opts NodeOptions, platform *enclave.Platform, verifier *enclave.Ver
 			sessions: make(map[string]*relaySession),
 			table:    NewPastQueryTable(opts.TableSize, encl.EPC()),
 		},
-		backend:      backend,
+		backend:      be,
 		net:          net,
 		rng:          rand.New(rand.NewSource(opts.Seed)),
 		relayTimeout: opts.RelayTimeout,
+	}
+	if bb, ok := be.(budgetedBackend); ok {
+		n.budgeted = bb
 	}
 	n.registerECalls()
 	n.registerSealECalls()
@@ -305,7 +328,16 @@ func (n *Node) registerECalls() {
 		if string(source) != n.id {
 			src = string(source)
 		}
-		results, err := n.backend.Search(src, string(query), time.Unix(0, nowNano))
+		// Thread the relay's forward deadline as the engine budget: the
+		// requester charges a timeout (and eventually blacklists) after
+		// relayTimeout, so the engine stack must give up first and answer
+		// with a typed engine error instead of silence.
+		var results []searchengine.Result
+		if n.budgeted != nil {
+			results, err = n.budgeted.SearchBudget(src, string(query), time.Unix(0, nowNano), n.relayTimeout)
+		} else {
+			results, err = n.backend.Search(src, string(query), time.Unix(0, nowNano))
+		}
 		if err != nil {
 			n.stats.engineErrors.Add(1)
 			return nil, err
@@ -333,6 +365,16 @@ func (n *Node) TableLen() int { return n.state.table.Len() }
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() NodeStats {
 	return n.stats.snapshot()
+}
+
+// BackendStats snapshots the node's backend decorator counters when its
+// backend is a resilience stack (or anything else exposing backend.Stats);
+// ok is false for bare backends (NullBackend, a raw engine).
+func (n *Node) BackendStats() (stats backend.Stats, ok bool) {
+	if p, isStack := n.backend.(interface{ Stats() backend.Stats }); isStack {
+		return p.Stats(), true
+	}
+	return backend.Stats{}, false
 }
 
 // BootstrapTable fills the past-query table (Google-Trends bootstrap, §V-D).
@@ -475,7 +517,9 @@ func (n *Node) Search(query string, now time.Time) (*SearchResult, error) {
 		case o.err != nil:
 			realErr = fmt.Errorf("%w: %v", ErrRelayFailed, o.err)
 		case o.reply.EngineError != "":
-			res.EngineError = errors.New(o.reply.EngineError)
+			// Classify from the wire string so callers can errors.Is against
+			// the backend taxonomy (overloaded / timeout / breaker-open).
+			res.EngineError = backend.FromWire(o.reply.EngineError)
 		default:
 			res.Results = o.reply.Results
 		}
@@ -494,6 +538,12 @@ func (n *Node) Search(query string, now time.Time) (*SearchResult, error) {
 // garbage frames) is blacklisted without the timeout — the rejection is
 // immediate; a self-sample is skipped without blacklisting the node itself
 // and without consuming one of the retry attempts (no forward was issued).
+// A relay that answers but reports an engine failure (shed, timed out,
+// breaker-open or erroring backend) behaved honestly: it is neither
+// blacklisted nor misbehavior-charged and pays no timeout — the query is
+// simply retried through a different relay whose engine may be healthy. If
+// every attempt ends in engine failure the last engine reply is returned
+// (no transport error occurred; the caller surfaces EngineError).
 // Retry bookkeeping (the tried set, replacement sampling) is built lazily
 // on the first failure, so the common all-relays-healthy path does no extra
 // work.
@@ -502,14 +552,23 @@ func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rp
 	var tried map[string]struct{}
 	current := relay
 	var lastErr error
+	var engineReply forwardResponse
+	engineRelay := ""
 	for attempt := 0; attempt < 3; attempt++ {
 		reply, lat, err := n.net.forward(n, current, query, now)
 		total += lat
-		if err == nil {
+		if err == nil && reply.EngineError == "" {
 			return reply, current, total, nil
 		}
 		lastErr = err
 		switch {
+		case err == nil:
+			// Engine failure reported by an honest relay: keep the reply as
+			// the fallback answer and move to a different relay, charging
+			// this one nothing.
+			n.stats.engineFailed.Add(1)
+			engineReply, engineRelay = reply, current
+			lastErr = nil
 		case errors.Is(err, ErrRelayMisbehaved):
 			n.stats.misbehaved.Add(1)
 			n.peers.Blacklist(rps.NodeID(current))
@@ -545,10 +604,20 @@ func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rp
 			}
 		}
 		if next == "" {
+			if engineRelay != "" {
+				// No replacement relay, but a relay did answer: degrade to
+				// its engine-failure reply instead of claiming no peers.
+				return engineReply, engineRelay, total, nil
+			}
 			return forwardResponse{}, current, total, ErrNoPeers
 		}
 		tried[next] = struct{}{}
 		current = next
+	}
+	if lastErr == nil && engineRelay != "" {
+		// Every relay behaved; every engine failed. Surface the last engine
+		// reply — this is backend degradation, not relay failure.
+		return engineReply, engineRelay, total, nil
 	}
 	return forwardResponse{}, current, total, lastErr
 }

@@ -1,0 +1,135 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"cyclosa/internal/simnet"
+)
+
+// BackendBenchOptions configures the engine-brownout benchmark behind
+// cyclosa-bench's -exp backend: availability and tail latency while up to
+// 30% of the overlay's backends are browned out, tracked PR over PR in
+// BENCH_backend.json.
+type BackendBenchOptions struct {
+	// Seed derives the run.
+	Seed int64
+	// Nodes is the overlay size (default 20).
+	Nodes int
+	// Rounds / OpsPerRound size the workload (defaults 6 / 48).
+	Rounds      int
+	OpsPerRound int
+	// BrownoutFraction caps simultaneously browned backends (default 0.3).
+	BrownoutFraction float64
+}
+
+// BackendBenchResult is one measurement of the resilient backend layer.
+type BackendBenchResult struct {
+	// Benchmark names the measured subsystem.
+	Benchmark string `json:"benchmark"`
+	// Nodes and BrownoutFraction echo the configuration.
+	Nodes            int     `json:"nodes"`
+	BrownoutFraction float64 `json:"brownout_fraction"`
+	// Searches / EngineFailed are the measured workload totals.
+	Searches     uint64 `json:"searches"`
+	EngineFailed uint64 `json:"engine_failed"`
+	// Availability is the fraction of searches fully answered under
+	// brownout; RecoveryAvailability the same after healing (must be 1.0).
+	Availability         float64 `json:"availability"`
+	RecoveryAvailability float64 `json:"recovery_availability"`
+	// P50Ms / P95Ms are wall-clock search latencies under brownout in
+	// milliseconds — the degrade-gracefully headline numbers.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	// Shed / Retries / Timeouts / BreakerOpens / BreakerRejected sum the
+	// decorator stacks across the overlay.
+	Shed            uint64 `json:"shed"`
+	Retries         uint64 `json:"retries"`
+	Timeouts        uint64 `json:"timeouts"`
+	BreakerOpens    uint64 `json:"breaker_opens"`
+	BreakerRejected uint64 `json:"breaker_rejected"`
+	// InjectedErrors / InjectedHangs prove the brownout actually bit.
+	InjectedErrors uint64 `json:"injected_errors"`
+	InjectedHangs  uint64 `json:"injected_hangs"`
+	// Misbehaved / Blacklisted must be 0: engine failure is not relay
+	// misbehavior, measured.
+	Misbehaved  uint64 `json:"misbehaved"`
+	Blacklisted uint64 `json:"blacklisted"`
+	// Violations are the run's invariant findings (empty on a clean run).
+	Violations []string `json:"violations,omitempty"`
+	// GeneratedAt stamps the measurement (RFC 3339).
+	GeneratedAt string `json:"generated_at"`
+}
+
+// RunBackendBench runs the backend-brownout chaos experiment and folds its
+// report into the benchmark record.
+func RunBackendBench(opts BackendBenchOptions) (*BackendBenchResult, error) {
+	r, err := simnet.BackendChaos(simnet.BackendChaosOptions{
+		Seed:             opts.Seed,
+		Nodes:            opts.Nodes,
+		Rounds:           opts.Rounds,
+		OpsPerRound:      opts.OpsPerRound,
+		BrownoutFraction: opts.BrownoutFraction,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("backend chaos: %w", err)
+	}
+	res := &BackendBenchResult{
+		Benchmark:            "Resilient backend layer under engine brownout",
+		Nodes:                opts.Nodes,
+		BrownoutFraction:     opts.BrownoutFraction,
+		Searches:             r.Ops + r.ProtoErrors,
+		EngineFailed:         r.EngineFailed,
+		Availability:         r.Availability,
+		RecoveryAvailability: r.RecoveryAvailability,
+		P50Ms:                float64(r.LatP50) / float64(time.Millisecond),
+		P95Ms:                float64(r.LatP95) / float64(time.Millisecond),
+		Shed:                 r.Backend.Shed,
+		Retries:              r.Backend.Retries,
+		Timeouts:             r.Backend.Timeouts,
+		BreakerOpens:         r.Backend.BreakerOpens,
+		BreakerRejected:      r.Backend.BreakerRejected,
+		InjectedErrors:       r.InjectedErrs,
+		InjectedHangs:        r.InjectedHangs,
+		Misbehaved:           r.Misbehaved,
+		Blacklisted:          r.Blacklisted,
+		Violations:           r.Check(),
+		GeneratedAt:          time.Now().UTC().Format(time.RFC3339),
+	}
+	if res.Nodes == 0 {
+		res.Nodes = 20
+	}
+	if res.BrownoutFraction == 0 {
+		res.BrownoutFraction = 0.3
+	}
+	return res, nil
+}
+
+// Failed reports whether the run violated a brownout invariant (non-zero
+// exit for cyclosa-bench).
+func (r *BackendBenchResult) Failed() bool { return len(r.Violations) > 0 }
+
+// WriteJSON writes the result as indented JSON to path.
+func (r *BackendBenchResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// String renders the result for the terminal.
+func (r *BackendBenchResult) String() string {
+	s := fmt.Sprintf(
+		"Backend brownout (%s):\n  %d nodes, <= %.0f%% browned: %d searches, %d engine-failed -> availability %.1f%% (recovery %.0f%%)\n  latency p50 %.2fms p95 %.2fms\n  stack: %d shed, %d retries, %d timeouts, %d breaker opens, %d breaker rejections\n  injected: %d errors, %d hangs; %d misbehavior charges, %d blacklistings",
+		r.Benchmark, r.Nodes, 100*r.BrownoutFraction, r.Searches, r.EngineFailed,
+		100*r.Availability, 100*r.RecoveryAvailability, r.P50Ms, r.P95Ms,
+		r.Shed, r.Retries, r.Timeouts, r.BreakerOpens, r.BreakerRejected,
+		r.InjectedErrors, r.InjectedHangs, r.Misbehaved, r.Blacklisted)
+	for _, v := range r.Violations {
+		s += "\n  FAIL " + v
+	}
+	return s
+}

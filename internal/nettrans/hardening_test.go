@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"cyclosa/internal/backend"
 	"cyclosa/internal/core"
 	"cyclosa/internal/enclave"
 	"cyclosa/internal/searchengine"
@@ -99,6 +100,52 @@ func TestServiceEngineRefusalSurfacesCleanly(t *testing.T) {
 	results, err := c.Query("a good query")
 	if err != nil || len(results) != 1 {
 		t.Fatalf("session did not survive the refusal: results=%v err=%v", results, err)
+	}
+}
+
+// TestServiceEngineClassSurvivesWire: when the daemon's backend is the
+// resilience stack, the typed failure class (here a watchdog timeout)
+// travels the attested wire inside the engineErr string and the client
+// recovers it — callers can errors.Is both ErrEngineRefused and the
+// backend taxonomy sentinel.
+func TestServiceEngineClassSurvivesWire(t *testing.T) {
+	ias := enclave.NewIAS()
+	verifier := enclave.NewVerifier(ias, enclave.MeasureCode(core.EnclaveName, core.EnclaveVersion))
+	plat := enclave.NewDeterministicPlatform("stack-relay", []byte("stack"), ias)
+	hsRelay, err := securechan.NewHandshaker(plat.New(enclave.Config{Name: core.EnclaveName, Version: core.EnclaveVersion}), verifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := backend.NewStack(flakyBackend{stall: 300 * time.Millisecond}, backend.Policy{
+		Timeout:    30 * time.Millisecond,
+		MaxRetries: -1, // clamped to 0: the timeout must surface, not retry
+	})
+	srv := NewServer(ServerConfig{
+		ID:      "stack-daemon",
+		Service: &RelayService{Handshaker: hsRelay, Backend: stack, Source: "stack-daemon"},
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	clientPlat := enclave.NewDeterministicPlatform("stack-client", []byte("stack"), ias)
+	hsClient, err := securechan.NewHandshaker(clientPlat.New(enclave.Config{Name: core.EnclaveName, Version: core.EnclaveVersion}), verifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialService(srv.Addr().String(), hsClient, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, qerr := c.Query("stall me")
+	if !errors.Is(qerr, ErrEngineRefused) {
+		t.Fatalf("err = %v, want ErrEngineRefused", qerr)
+	}
+	if !errors.Is(qerr, backend.ErrEngineTimeout) {
+		t.Fatalf("err = %v lost the taxonomy class, want backend.ErrEngineTimeout", qerr)
 	}
 }
 

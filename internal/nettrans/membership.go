@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"cyclosa/internal/backend"
 	"cyclosa/internal/rps"
 )
 
@@ -60,6 +61,10 @@ type MembershipConfig struct {
 	Attest AttestFunc
 	// Logf, when non-nil, receives membership lifecycle diagnostics.
 	Logf func(format string, args ...any)
+	// BackendStats, when non-nil, is sampled into every view snapshot so
+	// `-mode view` shows the daemon's engine-resilience counters (shed,
+	// retries, breaker state) live during a brownout.
+	BackendStats func() backend.Stats
 }
 
 func (cfg *MembershipConfig) applyDefaults() {
@@ -88,6 +93,9 @@ type ViewSnapshot struct {
 	Rounds      uint64     `json:"rounds"`
 	Peers       []PeerInfo `json:"peers"`
 	Blacklisted []string   `json:"blacklisted,omitempty"`
+	// Backend is the daemon's engine-resilience counters; absent when the
+	// daemon runs a bare backend (no stack wired in).
+	Backend *backend.Stats `json:"backend,omitempty"`
 }
 
 // dirEntry is the directory's cached attestation evidence for one peer.
@@ -455,6 +463,10 @@ func (m *Membership) Snapshot() ViewSnapshot {
 		Self:   string(m.cfg.Self.ID),
 		Addr:   m.cfg.Self.Addr,
 		Rounds: m.rounds,
+	}
+	if m.cfg.BackendStats != nil {
+		bs := m.cfg.BackendStats()
+		snap.Backend = &bs
 	}
 	for _, d := range view {
 		p := PeerInfo{ID: string(d.ID), Addr: d.Addr, Age: d.Age}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cyclosa/internal/backend"
 	"cyclosa/internal/core"
 	"cyclosa/internal/searchengine"
 	"cyclosa/internal/securechan"
@@ -582,7 +583,10 @@ func (c *Client) Query(query string) ([]searchengine.Result, error) {
 		}
 		c.timeouts.Store(0)
 		if res.engineErr != "" {
-			return nil, fmt.Errorf("%w: %s", ErrEngineRefused, res.engineErr)
+			// Classify from the wire string: the taxonomy sentinels
+			// (overloaded / timeout / breaker-open) survive the trip, so
+			// callers can errors.Is both ErrEngineRefused and the class.
+			return nil, fmt.Errorf("%w: %w", ErrEngineRefused, backend.FromWire(res.engineErr))
 		}
 		return res.results, nil
 	case <-t.C:

@@ -1,0 +1,86 @@
+package simnet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenBrownoutSchedule: same inputs, same schedule; damage never exceeds
+// the cap; heals only target browned backends.
+func TestGenBrownoutSchedule(t *testing.T) {
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	cfg := BrownoutScheduleConfig{Steps: 40}
+	s1 := GenBrownoutSchedule(42, ids, cfg)
+	s2 := GenBrownoutSchedule(42, ids, cfg)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("GenBrownoutSchedule is not deterministic for a fixed seed")
+	}
+	if len(s1) != 40 {
+		t.Fatalf("schedule length = %d, want 40", len(s1))
+	}
+	cap := 3 // 10 nodes * 3/10
+	browned := map[string]bool{}
+	sawBrownout, sawHeal := false, false
+	for _, s := range s1 {
+		switch s.Kind {
+		case StepBrownout:
+			sawBrownout = true
+			if browned[s.A] {
+				t.Fatalf("double brownout of %s", s.A)
+			}
+			browned[s.A] = true
+			if len(browned) > cap {
+				t.Fatalf("%d backends browned at once, cap is %d", len(browned), cap)
+			}
+		case StepBrownoutHeal:
+			sawHeal = true
+			if !browned[s.A] {
+				t.Fatalf("heal of healthy backend %s", s.A)
+			}
+			delete(browned, s.A)
+		case StepNone:
+		default:
+			t.Fatalf("unexpected step kind %v in a brownout schedule", s.Kind)
+		}
+	}
+	if !sawBrownout || !sawHeal {
+		t.Fatalf("schedule never exercised both step kinds (brownout=%v heal=%v)", sawBrownout, sawHeal)
+	}
+}
+
+// TestGenScheduleUnperturbed pins that adding the brownout generator did not
+// shift GenSchedule's rng stream: old seeds must keep replaying the exact
+// node-fault schedules they always produced.
+func TestGenScheduleUnperturbed(t *testing.T) {
+	ids := []string{"n1", "n2", "n3", "n4"}
+	s := GenSchedule(7, ids, ScheduleConfig{Steps: 4})
+	want := []Step{
+		{Kind: StepCrash, A: "n2"},
+		{Kind: StepNone},
+		{Kind: StepNone},
+		{Kind: StepRestart, A: "n2"},
+	}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("GenSchedule(7) drifted:\n got  %v\n want %v", s, want)
+	}
+}
+
+// TestBackendBrownoutChaos is the headline robustness soak: up to 30% of
+// the overlay's backends brown out (errors, hangs, latency spikes) while a
+// concurrent workload runs. The resilience stack must shed and fail fast,
+// requesters must re-sample past browned relays, no honest relay may be
+// blacklisted or misbehavior-charged, and healing must restore 100%
+// availability.
+func TestBackendBrownoutChaos(t *testing.T) {
+	r, err := BackendChaos(BackendChaosOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if r.Ops == 0 {
+		t.Fatal("workload measured nothing")
+	}
+	for _, v := range r.Check() {
+		t.Errorf("invariant: %s", v)
+	}
+}

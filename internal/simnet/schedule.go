@@ -20,6 +20,12 @@ const (
 	StepHeal
 	// StepNone is an idle step (the overlay runs fault-free for a round).
 	StepNone
+	// StepBrownout browns out node A's backend: its engine starts erroring,
+	// stalling and spiking latency per the run's brownout profile. The node
+	// itself stays up and honest — only its engine degrades.
+	StepBrownout
+	// StepBrownoutHeal restores node A's backend to the healthy profile.
+	StepBrownoutHeal
 )
 
 // Step is one node-level fault action of a chaos schedule.
@@ -41,6 +47,10 @@ func (s Step) String() string {
 		return fmt.Sprintf("heal %s->%s", s.A, s.B)
 	case StepNone:
 		return "idle"
+	case StepBrownout:
+		return "brownout " + s.A
+	case StepBrownoutHeal:
+		return "brownout-heal " + s.A
 	}
 	return fmt.Sprintf("step(%d)", s.Kind)
 }
@@ -129,7 +139,9 @@ func GenSchedule(seed int64, ids []string, cfg ScheduleConfig) []Step {
 	return steps
 }
 
-// Apply executes one schedule step against the Sim.
+// Apply executes one schedule step against the Sim. Backend steps
+// (StepBrownout, StepBrownoutHeal) target engines, not deliveries, and are
+// applied by the backend-chaos driver instead; the Sim ignores them.
 func (s *Sim) Apply(step Step) {
 	switch step.Kind {
 	case StepCrash:
@@ -141,4 +153,64 @@ func (s *Sim) Apply(step Step) {
 	case StepHeal:
 		s.Heal(step.A, step.B)
 	}
+}
+
+// BrownoutScheduleConfig tunes backend-brownout schedule generation.
+type BrownoutScheduleConfig struct {
+	// Steps is the schedule length (default 16).
+	Steps int
+	// MaxBrowned bounds simultaneously browned-out backends (default
+	// len(ids)*3/10, at least 1 — the 30% brownout the acceptance scenario
+	// names).
+	MaxBrowned int
+}
+
+// GenBrownoutSchedule derives a backend-brownout schedule from the seed:
+// brownout / heal / idle steps whose browned-out set never exceeds
+// MaxBrowned. Generation is weighted toward browning (3:1:1) so the damage
+// hovers near the cap for most of the run instead of drifting back to
+// healthy. Like GenSchedule it is a pure function of its inputs, so a
+// failing run replays from its seed. Brownout schedules are generated
+// separately from node-fault schedules: existing seeds keep producing
+// byte-identical GenSchedule output.
+func GenBrownoutSchedule(seed int64, ids []string, cfg BrownoutScheduleConfig) []Step {
+	if cfg.Steps <= 0 {
+		cfg.Steps = 16
+	}
+	if cfg.MaxBrowned <= 0 {
+		cfg.MaxBrowned = max(1, len(ids)*3/10)
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0xb10c0e7))
+
+	browned := map[string]bool{}
+	var brownedList []string
+
+	steps := make([]Step, 0, cfg.Steps)
+	for len(steps) < cfg.Steps {
+		switch rng.Intn(5) {
+		case 0, 1, 2: // brown out a random healthy backend
+			if len(browned) >= cfg.MaxBrowned {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			if browned[id] {
+				continue
+			}
+			browned[id] = true
+			brownedList = append(brownedList, id)
+			steps = append(steps, Step{Kind: StepBrownout, A: id})
+		case 3: // heal a random browned backend
+			if len(brownedList) == 0 {
+				continue
+			}
+			i := rng.Intn(len(brownedList))
+			id := brownedList[i]
+			brownedList = append(brownedList[:i], brownedList[i+1:]...)
+			delete(browned, id)
+			steps = append(steps, Step{Kind: StepBrownoutHeal, A: id})
+		case 4:
+			steps = append(steps, Step{Kind: StepNone})
+		}
+	}
+	return steps
 }
