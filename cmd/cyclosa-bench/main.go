@@ -12,13 +12,23 @@
 //	cyclosa-bench -exp gossip -json BENCH_gossip.json
 //	cyclosa-bench -exp chaos -seed 7 -workload zipf -chaos-intensity 2
 //	cyclosa-bench -exp backend -json BENCH_backend.json
+//	cyclosa-bench -exp accounting -json BENCH_accounting.json
 //
 // Experiments: table1, crowd, table2, fig5, fig6, fig7, fig8a, fig8b,
-// fig8c, fig8d, loadtest, relay, net, gossip, chaos, backend, all
-// (everything except the real-time fig8c, loadtest, relay, net and backend
-// unless explicitly requested). The gossip experiment measures the
-// membership control plane: convergence of a seeded overlay, re-convergence
-// under churn, and the blacklist no-re-entry invariant.
+// fig8c, fig8d, loadtest, relay, net, gossip, chaos, backend, accounting,
+// all (everything except the real-time fig8c, loadtest, relay, net,
+// backend and accounting unless explicitly requested). The gossip
+// experiment measures the membership control plane: convergence of a
+// seeded overlay, re-convergence under churn, and the blacklist
+// no-re-entry invariant.
+//
+// The accounting experiment overloads the attested query plane at twice
+// each client's admitted rate and reports admitted vs throttled, then
+// re-measures the forward hot path to show the per-client token buckets
+// and the net-commit stats seam keep it allocation-flat; the process exits
+// non-zero if throttling never fired, the offered load never reached 2x
+// the quota, or the hot path exceeded its alloc budget. -json emits
+// BENCH_accounting.json with history carried forward.
 //
 // The backend experiment runs the engine-brownout chaos driver: up to 30%
 // of the overlay's backends degrade (errors, hangs, latency spikes) behind
@@ -74,7 +84,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cyclosa-bench", flag.ContinueOnError)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|chaos|backend|loadtest|relay|net|gossip|all")
+		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|chaos|backend|accounting|loadtest|relay|net|gossip|all")
 		seed        = fs.Int64("seed", 1, "random seed")
 		users       = fs.Int("users", 198, "workload users (paper: 198)")
 		mean        = fs.Int("mean-queries", 120, "mean queries per user")
@@ -102,7 +112,7 @@ func run(args []string) error {
 	})
 
 	want := strings.ToLower(*exp)
-	needWorld := want != "table1" && want != "loadtest" && want != "relay" && want != "chaos" && want != "net" && want != "backend"
+	needWorld := want != "table1" && want != "loadtest" && want != "relay" && want != "chaos" && want != "net" && want != "backend" && want != "accounting"
 
 	var world *eval.World
 	if needWorld {
@@ -286,6 +296,23 @@ func run(args []string) error {
 			}
 			return nil
 		}},
+		{"accounting", func() error {
+			r, err := eval.RunAccountingBench(eval.AccountingBenchOptions{Seed: *seed, Duration: *duration})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			if *jsonOut != "" {
+				if err := r.WriteJSON(*jsonOut); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+			}
+			if r.Failed() {
+				return fmt.Errorf("accounting: admission invariants violated (seed %d replays the failure)", *seed)
+			}
+			return nil
+		}},
 		{"chaos", func() error {
 			r, err := eval.RunChaos(eval.ChaosOptions{
 				Seed:      *seed,
@@ -310,7 +337,7 @@ func run(args []string) error {
 		if want != "all" && want != e.name {
 			continue
 		}
-		if want == "all" && (e.name == "fig8c" || e.name == "loadtest" || e.name == "relay" || e.name == "net" || e.name == "backend") {
+		if want == "all" && (e.name == "fig8c" || e.name == "loadtest" || e.name == "relay" || e.name == "net" || e.name == "backend" || e.name == "accounting") {
 			fmt.Printf("%s: skipped in -exp all (real-time load test); run -exp %s explicitly\n", e.name, e.name)
 			continue
 		}

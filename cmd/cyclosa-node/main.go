@@ -58,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"cyclosa/internal/accounting"
 	"cyclosa/internal/backend"
 	"cyclosa/internal/core"
 	"cyclosa/internal/enclave"
@@ -98,6 +99,9 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 		engineRetries  = fs.Int("engine-retries", 2, "daemon: max engine retries per query (0 disables retrying)")
 		engineBreaker  = fs.Float64("engine-breaker-threshold", 0.5, "daemon: engine failure rate in (0, 1] that opens the circuit breaker")
 		engineInflight = fs.Int("engine-max-inflight", 64, "daemon: concurrent engine calls admitted before shedding with engine-overloaded")
+
+		clientQPS   = fs.Float64("client-qps", 25, "daemon: per-client admitted query rate (token-bucket refill, must be positive and finite)")
+		clientBurst = fs.Int("client-burst", 50, "daemon: per-client token-bucket burst capacity (must be positive)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,6 +121,14 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 		fs.Usage()
 		return err
 	}
+	// Same convention for the admission quota: a daemon that silently ran
+	// unthrottled (or with a zero quota) would be an operator trap.
+	admission, err := accounting.NewLimiter(accounting.LimiterConfig{QPS: *clientQPS, Burst: *clientBurst})
+	if err != nil {
+		fs.SetOutput(os.Stderr)
+		fs.Usage()
+		return err
+	}
 
 	env := newAttestationEnv(*iasSecret)
 	switch *mode {
@@ -129,6 +141,7 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 			advertise:   *advertise,
 			gossipEvery: *gossipEvery,
 			engine:      engine,
+			admission:   admission,
 		}, ready, stop)
 	case "client":
 		return runClient(env, *connect, *query, *n, *concurrency, *seed)
@@ -139,7 +152,7 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 		stopCh := make(chan struct{})
 		errCh := make(chan error, 1)
 		go func() {
-			errCh <- runNode(env, nodeConfig{listen: "127.0.0.1:0", id: *id, seed: *seed, engine: engine}, readyCh, stopCh)
+			errCh <- runNode(env, nodeConfig{listen: "127.0.0.1:0", id: *id, seed: *seed, engine: engine, admission: admission}, readyCh, stopCh)
 		}()
 		select {
 		case addr := <-readyCh:
@@ -205,6 +218,10 @@ type nodeConfig struct {
 	advertise   string
 	gossipEvery time.Duration
 	engine      backend.Policy
+	// admission is the per-client token-bucket limiter enforced at the
+	// service edge, before decrypt and dispatch (nil = unthrottled, only
+	// reachable from tests — the flag path always builds one).
+	admission *accounting.Limiter
 }
 
 // runNode runs the long-running relay daemon until a signal (or stop
@@ -252,23 +269,33 @@ func runNode(env *attestationEnv, cfg nodeConfig, ready chan<- string, stop <-ch
 		}
 		return pc.PeerMeasurement(), nil
 	}
-	membership := nettrans.NewMembership(nettrans.MembershipConfig{
+	// The misbehavior ledger gossips per-node evidence over the accounting
+	// frame, so a blacklist verdict reached here convinces the rest of the
+	// overlay without a coordinator.
+	ledger := accounting.NewLedger(cfg.id)
+	memCfg := nettrans.MembershipConfig{
 		Self:       rps.Descriptor{ID: rps.NodeID(cfg.id)},
 		Bootstrap:  cfg.bootstrap,
 		Interval:   cfg.gossipEvery,
 		Attest:     attest,
 		PoolConfig: nettrans.PoolConfig{ID: cfg.id, DialTimeout: 3 * time.Second, RequestTimeout: 5 * time.Second},
 		Logf:       logf,
+		Ledger:     ledger,
 		// Surface the stack's counters in every view snapshot so `-mode
 		// view` shows brownout state (shed, retries, breaker) live.
 		BackendStats: stack.Stats,
-	})
+	}
+	if cfg.admission != nil {
+		memCfg.AdmissionStats = cfg.admission.Stats
+	}
+	membership := nettrans.NewMembership(memCfg)
 	defer membership.Stop()
 
 	srv := nettrans.NewServer(nettrans.ServerConfig{
 		ID:         cfg.id,
 		Service:    &nettrans.RelayService{Handshaker: hs, Backend: stack, Source: cfg.id},
 		Membership: membership,
+		Admission:  cfg.admission,
 		Logf:       logf,
 	})
 	addr, err := srv.Listen(cfg.listen)
@@ -350,6 +377,21 @@ func runView(w io.Writer, addr string) error {
 			b.Calls, b.Successes, b.EngineErrors, b.Timeouts, b.Shed, b.Retries, b.InFlight)
 		fmt.Fprintf(w, "breaker: %s (%d opens, %d rejected, open %v total)\n",
 			state, b.BreakerOpens, b.BreakerRejected, time.Duration(b.BreakerOpenNanos).Round(time.Millisecond))
+	}
+	if a := snap.Admission; a != nil {
+		fmt.Fprintf(w, "admission: %d admitted, %d throttled, %d client bucket(s) live, %d evicted\n",
+			a.Admitted, a.Throttled, a.Clients, a.Evicted)
+	}
+	if len(snap.Misbehavior) > 0 {
+		subjects := make([]string, 0, len(snap.Misbehavior))
+		for s := range snap.Misbehavior {
+			subjects = append(subjects, s)
+		}
+		sort.Strings(subjects)
+		fmt.Fprintf(w, "misbehavior:\n")
+		for _, s := range subjects {
+			fmt.Fprintf(w, "  %-20s %d\n", s, snap.Misbehavior[s])
+		}
 	}
 	return nil
 }

@@ -6,8 +6,20 @@ import (
 	"testing"
 	"time"
 
+	"cyclosa/internal/accounting"
 	"cyclosa/internal/nettrans"
 )
+
+// testLimiter builds an admission limiter for in-process daemons, failing
+// the test on a config error.
+func testLimiter(t *testing.T, qps float64, burst int) *accounting.Limiter {
+	t.Helper()
+	lim, err := accounting.NewLimiter(accounting.LimiterConfig{QPS: qps, Burst: burst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lim
+}
 
 // startNode runs the daemon in-process and returns its address plus a stop
 // func.
@@ -91,7 +103,8 @@ func TestMismatchedIASSecret(t *testing.T) {
 // their directories, and both serve relayed queries — no static peer list.
 func TestBootstrapDiscovery(t *testing.T) {
 	env := newAttestationEnv("peer-secret")
-	addrA := startNode(t, env, nodeConfig{listen: "127.0.0.1:0", id: "node-a", seed: 1, gossipEvery: 20 * time.Millisecond})
+	addrA := startNode(t, env, nodeConfig{listen: "127.0.0.1:0", id: "node-a", seed: 1, gossipEvery: 20 * time.Millisecond,
+		admission: testLimiter(t, 200, 50)})
 	addrB := startNode(t, env, nodeConfig{listen: "127.0.0.1:0", id: "node-b", seed: 1,
 		bootstrap: []string{addrA}, gossipEvery: 20 * time.Millisecond})
 
@@ -141,6 +154,11 @@ func TestBootstrapDiscovery(t *testing.T) {
 	if !strings.Contains(out, "backend:") || !strings.Contains(out, "breaker:") {
 		t.Fatalf("view rendering missing backend stack state:\n%s", out)
 	}
+	// node-a runs with an admission limiter, so the view must render its
+	// counters (the served query above was admitted through it).
+	if !strings.Contains(out, "admission:") || !strings.Contains(out, "admitted") {
+		t.Fatalf("view rendering missing admission counters:\n%s", out)
+	}
 }
 
 // TestBadEngineFlags: out-of-range resilience settings must fail loudly
@@ -177,6 +195,43 @@ func TestEngineFlagsAccepted(t *testing.T) {
 	args := []string{"-mode", "demo", "-seed", "3",
 		"-engine-timeout", "250ms", "-engine-retries", "0",
 		"-engine-breaker-threshold", "0.9", "-engine-max-inflight", "2"}
+	if err := run(args, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBadAdmissionFlags: a non-positive quota must fail loudly at start-up
+// (the same convention as the engine flags) — a daemon silently running
+// unthrottled or refusing every client would be an operator trap.
+func TestBadAdmissionFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero qps", []string{"-mode", "demo", "-client-qps", "0"}, "limiter qps"},
+		{"negative qps", []string{"-mode", "demo", "-client-qps", "-5"}, "limiter qps"},
+		{"zero burst", []string{"-mode", "demo", "-client-burst", "0"}, "limiter burst"},
+		{"negative burst", []string{"-mode", "demo", "-client-burst", "-1"}, "limiter burst"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, nil, nil)
+			if err == nil {
+				t.Fatalf("args %v accepted, want validation error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the bad flag (want %q)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestAdmissionFlagsAccepted: an in-range quota reaches the daemon and the
+// demo round trip still succeeds — a burst of 1 admits the single query.
+func TestAdmissionFlagsAccepted(t *testing.T) {
+	args := []string{"-mode", "demo", "-seed", "3",
+		"-client-qps", "100", "-client-burst", "1"}
 	if err := run(args, nil, nil); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,108 @@
+package accounting
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCommitThreshold is the net-commit threshold a Handle uses when its
+// owner passes 0: pending deltas are folded into the shared counter every
+// 64 operations, a 64x reduction in cross-core traffic that still bounds
+// each handle's drift well below anything a per-round snapshot can observe
+// (Sum folds the drift back in exactly anyway).
+const DefaultCommitThreshold = 64
+
+// Counter is a shared counter fed by per-owner Handles. The hot path — one
+// owner incrementing through its own handle — costs a single uncontended
+// atomic add; the shared state is touched only when a handle's pending
+// delta crosses its commit threshold. Sum is exact at every instant: it
+// reads the committed total plus every live handle's pending delta.
+//
+// This replaces the one-contended-atomic-per-forward pattern in the relay
+// hot path with O(commits) shared-cacheline traffic under heavy load.
+type Counter struct {
+	committed atomic.Int64
+
+	mu      sync.Mutex
+	handles map[*Handle]struct{}
+}
+
+// NewCounter builds an empty Counter.
+func NewCounter() *Counter {
+	return &Counter{handles: make(map[*Handle]struct{})}
+}
+
+// Add folds n directly into the committed total — the path for increments
+// that have no owning handle (rare events, tests).
+func (c *Counter) Add(n int64) { c.committed.Add(n) }
+
+// Handle registers a new owner-local accumulation handle. threshold is the
+// absolute pending delta at which the handle commits to the shared counter
+// (0 = DefaultCommitThreshold). Callers must Close the handle when the
+// owner retires so its pending delta is not lost and Sum stops scanning it.
+func (c *Counter) Handle(threshold int64) *Handle {
+	if threshold <= 0 {
+		threshold = DefaultCommitThreshold
+	}
+	h := &Handle{c: c, threshold: threshold}
+	c.mu.Lock()
+	c.handles[h] = struct{}{}
+	c.mu.Unlock()
+	return h
+}
+
+// Sum returns the exact current total: committed plus every live handle's
+// pending delta. Cost is O(live handles); intended for per-round snapshots,
+// not per-op reads.
+func (c *Counter) Sum() int64 {
+	c.mu.Lock()
+	total := c.committed.Load()
+	for h := range c.handles {
+		total += h.pending.Load()
+	}
+	c.mu.Unlock()
+	return total
+}
+
+// Handle is one owner's accumulation lane into a Counter. Add is safe for
+// concurrent use (pending is atomic), though the intended shape is one
+// owning goroutine per handle.
+type Handle struct {
+	c         *Counter
+	threshold int64
+	pending   atomic.Int64
+	closed    atomic.Bool
+}
+
+// Add accumulates n locally and commits the pending delta to the shared
+// counter once |pending| reaches the handle's threshold. Add on a closed
+// handle degrades to a direct commit so no increment is ever lost.
+func (h *Handle) Add(n int64) {
+	if h.closed.Load() {
+		h.c.committed.Add(n)
+		return
+	}
+	p := h.pending.Add(n)
+	if p >= h.threshold || p <= -h.threshold {
+		h.Flush()
+	}
+}
+
+// Flush commits the handle's pending delta to the shared counter now.
+func (h *Handle) Flush() {
+	if n := h.pending.Swap(0); n != 0 {
+		h.c.committed.Add(n)
+	}
+}
+
+// Close flushes the handle and unregisters it from the counter so Sum stops
+// scanning it. Close is idempotent. The flush and unregister happen under
+// the counter lock so a concurrent Sum sees the pending delta exactly once
+// — either via the handle scan or via the committed total, never neither.
+func (h *Handle) Close() {
+	h.closed.Store(true)
+	h.c.mu.Lock()
+	h.Flush()
+	delete(h.c.handles, h)
+	h.c.mu.Unlock()
+}

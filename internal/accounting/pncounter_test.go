@@ -1,0 +1,189 @@
+package accounting
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestLedgerIncValue(t *testing.T) {
+	l := NewLedger("r1")
+	l.Inc("mallory", 2)
+	l.Inc("mallory", 1)
+	l.Inc("trent", 1)
+	if got := l.Value("mallory"); got != 3 {
+		t.Fatalf("Value(mallory) = %d, want 3", got)
+	}
+	if got := l.Value("trent"); got != 1 {
+		t.Fatalf("Value(trent) = %d, want 1", got)
+	}
+	if got := l.Value("nobody"); got != 0 {
+		t.Fatalf("Value(nobody) = %d, want 0", got)
+	}
+	l.Pardon("mallory", 1)
+	if got := l.Value("mallory"); got != 2 {
+		t.Fatalf("Value(mallory) after pardon = %d, want 2", got)
+	}
+	// Zero deltas and empty subjects are no-ops.
+	l.Inc("", 5)
+	l.Inc("x", 0)
+	if got := l.Subjects(); !reflect.DeepEqual(got, []string{"mallory", "trent"}) {
+		t.Fatalf("Subjects = %v", got)
+	}
+}
+
+func TestLedgerWireRoundTrip(t *testing.T) {
+	a := NewLedger("r1")
+	a.Inc("mallory", 3)
+	a.Pardon("mallory", 1)
+	a.Inc("trent", 7)
+
+	b := NewLedger("r2")
+	changed, err := b.MergeWire(a.AppendWire(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"mallory", "trent"}; !reflect.DeepEqual(changed, want) {
+		t.Fatalf("changed = %v, want %v", changed, want)
+	}
+	if got := b.Value("mallory"); got != 2 {
+		t.Fatalf("merged Value(mallory) = %d, want 2", got)
+	}
+	if got := b.Value("trent"); got != 7 {
+		t.Fatalf("merged Value(trent) = %d, want 7", got)
+	}
+	// Re-merging the identical payload is a no-op (idempotence).
+	changed, err = b.MergeWire(a.AppendWire(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Fatalf("idempotent re-merge changed %v", changed)
+	}
+}
+
+func TestLedgerWireDeterministic(t *testing.T) {
+	build := func() *Ledger {
+		l := NewLedger("rX")
+		l.Inc("b", 1)
+		l.Inc("a", 2)
+		l.Pardon("c", 1)
+		return l
+	}
+	w1 := build().AppendWire(nil)
+	w2 := build().AppendWire(nil)
+	if !bytes.Equal(w1, w2) {
+		t.Fatal("wire encoding is not deterministic")
+	}
+}
+
+// TestLedgerConvergence drives random increments on independent replicas
+// with random pairwise merges (including replayed stale payloads) and
+// asserts all replicas converge to the exact per-subject ground truth —
+// the CRDT property the partition-heal chaos driver depends on.
+func TestLedgerConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const replicas = 5
+	ls := make([]*Ledger, replicas)
+	for i := range ls {
+		ls[i] = NewLedger(fmt.Sprintf("r%d", i))
+	}
+	truth := map[string]int64{}
+	subjects := []string{"s0", "s1", "s2"}
+
+	var stale [][]byte
+	for step := 0; step < 400; step++ {
+		switch rng.Intn(3) {
+		case 0: // local observation
+			r, s := rng.Intn(replicas), subjects[rng.Intn(len(subjects))]
+			d := uint64(1 + rng.Intn(3))
+			ls[r].Inc(s, d)
+			truth[s] += int64(d)
+		case 1: // pairwise merge
+			a, b := rng.Intn(replicas), rng.Intn(replicas)
+			payload := ls[a].AppendWire(nil)
+			stale = append(stale, payload)
+			if _, err := ls[b].MergeWire(payload); err != nil {
+				t.Fatal(err)
+			}
+		case 2: // replay an old payload — must never double-count
+			if len(stale) > 0 {
+				p := stale[rng.Intn(len(stale))]
+				if _, err := ls[rng.Intn(replicas)].MergeWire(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// Full mesh exchange to converge.
+	for round := 0; round < 2; round++ {
+		for i := range ls {
+			p := ls[i].AppendWire(nil)
+			for j := range ls {
+				if i == j {
+					continue
+				}
+				if _, err := ls[j].MergeWire(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for i, l := range ls {
+		for _, s := range subjects {
+			if got := l.Value(s); got != truth[s] {
+				t.Fatalf("replica %d Value(%s) = %d, want %d", i, s, got, truth[s])
+			}
+		}
+	}
+}
+
+func TestLedgerMergeWireRejects(t *testing.T) {
+	good := NewLedger("r1")
+	good.Inc("s", 1)
+	valid := good.AppendWire(nil)
+
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"bad version", []byte{99, 0}},
+		{"truncated", valid[:len(valid)-2]},
+		{"trailing bytes", append(append([]byte{}, valid...), 0xAA)},
+		{"huge subject count", append([]byte{ledgerWireVersion}, 0xFF, 0xFF, 0x7F)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := NewLedger("r2")
+			if _, err := l.MergeWire(tc.payload); err == nil {
+				t.Fatalf("MergeWire(%s) accepted malformed payload", tc.name)
+			}
+			if len(l.Subjects()) != 0 {
+				t.Fatalf("rejected payload mutated ledger: %v", l.Subjects())
+			}
+		})
+	}
+
+	// Oversized ID length must be rejected too.
+	big := NewLedger(strings.Repeat("x", maxLedgerIDLen+1))
+	big.Inc("s", 1)
+	l := NewLedger("r3")
+	if _, err := l.MergeWire(big.AppendWire(nil)); err == nil {
+		t.Fatal("oversized replica ID accepted")
+	}
+}
+
+func TestLedgerValues(t *testing.T) {
+	l := NewLedger("r1")
+	l.Inc("a", 4)
+	l.Pardon("a", 1)
+	l.Inc("b", 2)
+	want := map[string]int64{"a": 3, "b": 2}
+	if got := l.Values(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Values = %v, want %v", got, want)
+	}
+}

@@ -55,6 +55,10 @@ func runHammer(t *testing.T, seed int64) hammerAggregates {
 	net.BootstrapFromTrending(uni, hammerBootstrap, seed)
 	ids := net.NodeIDs()
 
+	gen, err := workload.NewZipf(uni, workload.ZipfConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := workload.Run(
 		func(client, _ int, query string) error {
 			_, serr := net.Node(ids[client%len(ids)]).Search(query, t0)
@@ -63,7 +67,7 @@ func runHammer(t *testing.T, seed int64) hammerAggregates {
 		workload.Options{
 			Clients:   hammerGoroutine,
 			Ops:       hammerOps,
-			Generator: workload.NewZipf(uni, workload.ZipfConfig{Seed: seed}),
+			Generator: gen,
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -157,6 +161,10 @@ func TestKillAndGossipDuringForwards(t *testing.T) {
 		}
 	}()
 
+	gen, err := workload.NewZipf(uni, workload.ZipfConfig{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
 	_, err = workload.Run(
 		func(client, _ int, query string) error {
 			// Clients stick to nodes that stay alive; relays may die mid-run.
@@ -167,7 +175,7 @@ func TestKillAndGossipDuringForwards(t *testing.T) {
 		workload.Options{
 			Clients:   hammerGoroutine,
 			Ops:       hammerOps,
-			Generator: workload.NewZipf(uni, workload.ZipfConfig{Seed: 99}),
+			Generator: gen,
 		})
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cyclosa/internal/accounting"
 	"cyclosa/internal/backend"
 	"cyclosa/internal/enclave"
 	"cyclosa/internal/rps"
@@ -86,11 +87,16 @@ type NodeStats struct {
 
 // nodeCounters is the lock-free internal form of NodeStats: every counter is
 // bumped on the forward hot path, so they are atomics rather than fields
-// behind the node mutex.
+// behind the node mutex. The relayed counter — the only one bumped once per
+// forward under heavy relay traffic — is a thresholded net-commit
+// accumulator instead of a single shared atomic: each responder-side
+// session owns a handle that commits in batches, so N relays hammering one
+// node produce O(commits) shared-cacheline traffic rather than O(forwards).
+// Sum stays exact, which the simnet conservation checks rely on.
 type nodeCounters struct {
 	searches     atomic.Uint64
 	fakesSent    atomic.Uint64
-	relayed      atomic.Uint64
+	relayed      *accounting.Counter
 	engineErrors atomic.Uint64
 	blacklisted  atomic.Uint64
 	misbehaved   atomic.Uint64
@@ -101,7 +107,7 @@ func (c *nodeCounters) snapshot() NodeStats {
 	return NodeStats{
 		Searches:     c.searches.Load(),
 		FakesSent:    c.fakesSent.Load(),
-		Relayed:      c.relayed.Load(),
+		Relayed:      uint64(c.relayed.Sum()),
 		EngineErrors: c.engineErrors.Load(),
 		Blacklisted:  c.blacklisted.Load(),
 		Misbehaved:   c.misbehaved.Load(),
@@ -136,6 +142,10 @@ type SearchResult struct {
 // channel's record sequence numbers leave no other order).
 type relaySession struct {
 	sess *securechan.Session
+
+	// relayed is this session's lane into the node's relayed counter:
+	// forwards accumulate here and net-commit in batches (see nodeCounters).
+	relayed *accounting.Handle
 
 	// mu guards out across pathological concurrent forwards from the same
 	// peer (normal operation serializes them; a malicious host does not).
@@ -226,6 +236,7 @@ func newNode(opts NodeOptions, platform *enclave.Platform, verifier *enclave.Ver
 		rng:          rand.New(rand.NewSource(opts.Seed)),
 		relayTimeout: opts.RelayTimeout,
 	}
+	n.stats.relayed = accounting.NewCounter()
 	if bb, ok := be.(budgetedBackend); ok {
 		n.budgeted = bb
 	}
@@ -389,8 +400,12 @@ func (n *Node) admitSession(peer string, sess *securechan.Session) {
 	defer n.state.mu.Unlock()
 	if old := n.state.sessions[peer]; old != nil {
 		old.sess.Close()
+		old.relayed.Close()
 	}
-	n.state.sessions[peer] = &relaySession{sess: sess}
+	n.state.sessions[peer] = &relaySession{
+		sess:    sess,
+		relayed: n.stats.relayed.Handle(0),
+	}
 }
 
 // closeSessions discards and closes every responder-side session the node
@@ -402,6 +417,7 @@ func (n *Node) closeSessions() {
 	defer n.state.mu.Unlock()
 	for peer, rs := range n.state.sessions {
 		rs.sess.Close()
+		rs.relayed.Close()
 		delete(n.state.sessions, peer)
 	}
 }
@@ -414,6 +430,7 @@ func (n *Node) dropSession(peer string) {
 	defer n.state.mu.Unlock()
 	if old := n.state.sessions[peer]; old != nil {
 		old.sess.Close()
+		old.relayed.Close()
 	}
 	delete(n.state.sessions, peer)
 }
@@ -423,7 +440,18 @@ func (n *Node) dropSession(peer string) {
 // relay-owned scratch and is valid only until the next forward from the
 // same peer; callers must decrypt or copy it before issuing another.
 func (n *Node) handleForward(from string, payload []byte, now time.Time) ([]byte, error) {
-	n.stats.relayed.Add(1)
+	n.state.mu.RLock()
+	rs := n.state.sessions[from]
+	n.state.mu.RUnlock()
+	if rs != nil {
+		// Count through the session's own accumulation lane: the shared
+		// counter is touched only every commit-threshold forwards.
+		rs.relayed.Add(1)
+	} else {
+		// No admitted session (the pair broke under our feet); the forward
+		// will fail inside the ecall, but it still happened — commit direct.
+		n.stats.relayed.Add(1)
+	}
 	ab := getBuf()
 	args := appendForwardArgs((*ab)[:0], from, payload, now.UnixNano())
 	*ab = args

@@ -1,0 +1,253 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cyclosa/internal/accounting"
+	"cyclosa/internal/core"
+	"cyclosa/internal/enclave"
+	"cyclosa/internal/nettrans"
+	"cyclosa/internal/securechan"
+)
+
+// AccountingBenchOptions configures the admission-control benchmark behind
+// cyclosa-bench's -exp accounting: closed-loop clients drive the attested
+// service plane well past their per-client rate, measuring what the
+// token-bucket edge admits, what it sheds, and that the forward hot path
+// kept its allocation budget with the accounting seam in place. Tracked PR
+// over PR in BENCH_accounting.json.
+type AccountingBenchOptions struct {
+	// Seed drives platform and network randomness.
+	Seed int64
+	// ClientQPS / Burst configure the per-client token bucket
+	// (defaults 50 qps, burst 10).
+	ClientQPS float64
+	Burst     int
+	// Clients is the number of concurrent closed-loop clients, each with
+	// its own identity and therefore its own bucket (default 4).
+	Clients int
+	// Duration is the measured shedding window (default 250ms). Closed
+	// loops run far faster than any sane per-client rate, so the offered
+	// load is guaranteed to exceed it.
+	Duration time.Duration
+	// HotPathIterations sizes the allocation re-measurement of the relay
+	// forward path (default 20000).
+	HotPathIterations int
+}
+
+// AccountingBenchResult is one measurement of the admission edge.
+type AccountingBenchResult struct {
+	// Benchmark names the measured subsystem.
+	Benchmark string `json:"benchmark"`
+	// ClientQPS, Burst and Clients echo the configuration.
+	ClientQPS float64 `json:"client_qps"`
+	Burst     int     `json:"burst"`
+	Clients   int     `json:"clients"`
+	// DurationMs is the measured window.
+	DurationMs float64 `json:"duration_ms"`
+	// Offered / Admitted / Throttled count the window's queries as the
+	// clients saw them: everything issued, answered normally, or refused
+	// with the typed throttle error.
+	Offered   uint64 `json:"offered"`
+	Admitted  uint64 `json:"admitted"`
+	Throttled uint64 `json:"throttled"`
+	// OfferedPerClientPerSec is the realized per-client offered rate —
+	// the acceptance bar is >= 2x ClientQPS.
+	OfferedPerClientPerSec float64 `json:"offered_per_client_per_sec"`
+	// AdmittedPerSec is the aggregate rate the edge let through.
+	AdmittedPerSec float64 `json:"admitted_per_sec"`
+	// LimiterAdmitted / LimiterThrottled are the server-side limiter
+	// counters, which must agree with the client-observed split.
+	LimiterAdmitted  uint64 `json:"limiter_admitted"`
+	LimiterThrottled uint64 `json:"limiter_throttled"`
+	// HotPathNsPerOp / HotPathAllocsPerOp re-measure the relay forward
+	// round trip with the accounting seam in place; the PR 2 budget of
+	// 3 allocs/op must still hold.
+	HotPathNsPerOp     float64 `json:"hot_path_ns_per_op"`
+	HotPathAllocsPerOp float64 `json:"hot_path_allocs_per_op"`
+	// GeneratedAt stamps the measurement (RFC 3339).
+	GeneratedAt string `json:"generated_at"`
+	// History carries prior measurements forward, newest first.
+	History []AccountingBenchHistoryEntry `json:"history,omitempty"`
+}
+
+// AccountingBenchHistoryEntry is one prior BENCH_accounting measurement,
+// carried forward so the file tracks the admission edge across runs.
+type AccountingBenchHistoryEntry struct {
+	GeneratedAt        string  `json:"generated_at"`
+	Admitted           uint64  `json:"admitted"`
+	Throttled          uint64  `json:"throttled"`
+	AdmittedPerSec     float64 `json:"admitted_per_sec"`
+	HotPathAllocsPerOp float64 `json:"hot_path_allocs_per_op"`
+}
+
+// RunAccountingBench measures the admission edge end to end: Clients
+// closed-loop clients, each over its own attested session, hammer one
+// throttled relay service for Duration; every query either completes or
+// fails with the typed accounting.ErrClientThrottled. A second phase
+// re-measures the bare forward hot path to prove the per-session
+// accounting seam kept the allocation budget.
+func RunAccountingBench(opts AccountingBenchOptions) (*AccountingBenchResult, error) {
+	if opts.ClientQPS <= 0 {
+		opts.ClientQPS = 50
+	}
+	if opts.Burst <= 0 {
+		opts.Burst = 10
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 4
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 250 * time.Millisecond
+	}
+	if opts.HotPathIterations <= 0 {
+		opts.HotPathIterations = 20000
+	}
+
+	ias := enclave.NewIAS()
+	verifier := enclave.NewVerifier(ias, enclave.MeasureCode(core.EnclaveName, core.EnclaveVersion))
+	relayPlat := enclave.NewDeterministicPlatform("accounting-bench-relay", []byte("accountingbench"), ias)
+	hsRelay, err := securechan.NewHandshaker(relayPlat.New(enclave.Config{Name: core.EnclaveName, Version: core.EnclaveVersion}), verifier)
+	if err != nil {
+		return nil, err
+	}
+	lim, err := accounting.NewLimiter(accounting.LimiterConfig{QPS: opts.ClientQPS, Burst: opts.Burst})
+	if err != nil {
+		return nil, err
+	}
+	srv := nettrans.NewServer(nettrans.ServerConfig{
+		ID:        "accounting-bench",
+		Service:   &nettrans.RelayService{Handshaker: hsRelay, Backend: core.NullBackend{}, Source: "accounting-bench"},
+		Admission: lim,
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	clients := make([]*nettrans.Client, opts.Clients)
+	for i := range clients {
+		plat := enclave.NewDeterministicPlatform(fmt.Sprintf("accounting-bench-client-%d", i), []byte("accountingbench"), ias)
+		hs, err := securechan.NewHandshaker(plat.New(enclave.Config{Name: core.EnclaveName, Version: core.EnclaveVersion}), verifier)
+		if err != nil {
+			return nil, err
+		}
+		c, err := nettrans.DialService(srv.Addr().String(), hs, nettrans.ClientConfig{
+			ID:             fmt.Sprintf("bench-client-%d", i),
+			RequestTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("client %d dial: %w", i, err)
+		}
+		defer c.Close()
+		clients[i] = c
+		// One warmup query per client so attestation and scratch growth
+		// are not charged to the window (it also spends one token).
+		if _, err := c.Query("accounting warmup"); err != nil {
+			return nil, fmt.Errorf("client %d warmup: %w", i, err)
+		}
+	}
+
+	var admitted, throttled uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, opts.Clients)
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *nettrans.Client) {
+			defer wg.Done()
+			var adm, thr uint64
+			for time.Now().Before(deadline) {
+				_, err := c.Query("accounting probe")
+				switch {
+				case err == nil:
+					adm++
+				case errors.Is(err, accounting.ErrClientThrottled):
+					thr++
+				default:
+					errCh <- fmt.Errorf("client %d: %w", i, err)
+					return
+				}
+			}
+			mu.Lock()
+			admitted += adm
+			throttled += thr
+			mu.Unlock()
+		}(i, c)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	hot, err := RunRelayBench(RelayBenchOptions{Seed: opts.Seed, Iterations: opts.HotPathIterations})
+	if err != nil {
+		return nil, fmt.Errorf("hot-path phase: %w", err)
+	}
+
+	st := lim.Stats()
+	offered := admitted + throttled
+	return &AccountingBenchResult{
+		Benchmark:              "Per-client admission edge (token bucket at the attested service plane)",
+		ClientQPS:              opts.ClientQPS,
+		Burst:                  opts.Burst,
+		Clients:                opts.Clients,
+		DurationMs:             float64(elapsed.Nanoseconds()) / 1e6,
+		Offered:                offered,
+		Admitted:               admitted,
+		Throttled:              throttled,
+		OfferedPerClientPerSec: float64(offered) / elapsed.Seconds() / float64(opts.Clients),
+		AdmittedPerSec:         float64(admitted) / elapsed.Seconds(),
+		LimiterAdmitted:        st.Admitted,
+		LimiterThrottled:       st.Throttled,
+		HotPathNsPerOp:         hot.NsPerOp,
+		HotPathAllocsPerOp:     hot.AllocsPerOp,
+		GeneratedAt:            time.Now().UTC().Format(time.RFC3339),
+	}, nil
+}
+
+// Failed reports whether the run missed the acceptance bar: the offered
+// load must exceed twice the per-client rate, some of it must actually have
+// been shed with the typed error, and the forward hot path must have kept
+// the 3 allocs/op budget (non-zero exit for cyclosa-bench).
+func (r *AccountingBenchResult) Failed() bool {
+	return r.Throttled == 0 ||
+		r.OfferedPerClientPerSec < 2*r.ClientQPS ||
+		r.HotPathAllocsPerOp > 3
+}
+
+// WriteJSON writes the result as indented JSON to path. When path already
+// holds an AccountingBenchResult, its summary is prepended to this result's
+// history so the file accumulates the admission trajectory across runs.
+func (r *AccountingBenchResult) WriteJSON(path string) error {
+	r.History = carryHistory(path, r.History, func(old *AccountingBenchResult) (AccountingBenchHistoryEntry, []AccountingBenchHistoryEntry, bool) {
+		return AccountingBenchHistoryEntry{
+			GeneratedAt:        old.GeneratedAt,
+			Admitted:           old.Admitted,
+			Throttled:          old.Throttled,
+			AdmittedPerSec:     old.AdmittedPerSec,
+			HotPathAllocsPerOp: old.HotPathAllocsPerOp,
+		}, old.History, old.GeneratedAt != ""
+	})
+	return writeIndentedJSON(path, r)
+}
+
+// String renders the result for the terminal.
+func (r *AccountingBenchResult) String() string {
+	s := fmt.Sprintf(
+		"Admission edge (%s):\n  %d clients at %.0f qps / burst %d each, %.0fms window\n  offered %d (%.0f per client per sec) -> admitted %d (%.0f/s), throttled %d\n  limiter counters: %d admitted, %d throttled\n  forward hot path: %.0f ns/op, %.2f allocs/op (budget 3)",
+		r.Benchmark, r.Clients, r.ClientQPS, r.Burst, r.DurationMs,
+		r.Offered, r.OfferedPerClientPerSec, r.Admitted, r.AdmittedPerSec, r.Throttled,
+		r.LimiterAdmitted, r.LimiterThrottled, r.HotPathNsPerOp, r.HotPathAllocsPerOp)
+	if r.Failed() {
+		s += "\n  FAIL admission bench missed its acceptance bar"
+	}
+	return s
+}

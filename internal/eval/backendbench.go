@@ -1,9 +1,7 @@
 package eval
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"time"
 
 	"cyclosa/internal/simnet"
@@ -61,6 +59,17 @@ type BackendBenchResult struct {
 	Violations []string `json:"violations,omitempty"`
 	// GeneratedAt stamps the measurement (RFC 3339).
 	GeneratedAt string `json:"generated_at"`
+	// History carries prior measurements forward, newest first.
+	History []BackendBenchHistoryEntry `json:"history,omitempty"`
+}
+
+// BackendBenchHistoryEntry is one prior BENCH_backend measurement, carried
+// forward so the file tracks availability across runs.
+type BackendBenchHistoryEntry struct {
+	GeneratedAt          string  `json:"generated_at"`
+	Availability         float64 `json:"availability"`
+	RecoveryAvailability float64 `json:"recovery_availability"`
+	P95Ms                float64 `json:"p95_ms"`
 }
 
 // RunBackendBench runs the backend-brownout chaos experiment and folds its
@@ -111,13 +120,19 @@ func RunBackendBench(opts BackendBenchOptions) (*BackendBenchResult, error) {
 // exit for cyclosa-bench).
 func (r *BackendBenchResult) Failed() bool { return len(r.Violations) > 0 }
 
-// WriteJSON writes the result as indented JSON to path.
+// WriteJSON writes the result as indented JSON to path. When path already
+// holds a BackendBenchResult, its summary is prepended to this result's
+// history so the file accumulates the availability trajectory across runs.
 func (r *BackendBenchResult) WriteJSON(path string) error {
-	b, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	r.History = carryHistory(path, r.History, func(old *BackendBenchResult) (BackendBenchHistoryEntry, []BackendBenchHistoryEntry, bool) {
+		return BackendBenchHistoryEntry{
+			GeneratedAt:          old.GeneratedAt,
+			Availability:         old.Availability,
+			RecoveryAvailability: old.RecoveryAvailability,
+			P95Ms:                old.P95Ms,
+		}, old.History, old.GeneratedAt != ""
+	})
+	return writeIndentedJSON(path, r)
 }
 
 // String renders the result for the terminal.

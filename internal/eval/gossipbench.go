@@ -1,9 +1,7 @@
 package eval
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"time"
 
 	"cyclosa/internal/simnet"
@@ -57,6 +55,17 @@ type GossipBenchResult struct {
 	NsPerRound float64 `json:"ns_per_round"`
 	// GeneratedAt stamps the measurement (RFC 3339).
 	GeneratedAt string `json:"generated_at"`
+	// History carries prior measurements forward, newest first.
+	History []GossipBenchHistoryEntry `json:"history,omitempty"`
+}
+
+// GossipBenchHistoryEntry is one prior BENCH_gossip measurement, carried
+// forward so the file tracks convergence across runs.
+type GossipBenchHistoryEntry struct {
+	GeneratedAt            string  `json:"generated_at"`
+	ConvergedRounds        int     `json:"converged_rounds"`
+	ChurnReconvergedRounds int     `json:"churn_reconverged_rounds"`
+	NsPerRound             float64 `json:"ns_per_round"`
 }
 
 // RunGossipBench measures convergence of the membership control plane: a
@@ -129,13 +138,19 @@ func RunGossipBench(opts GossipBenchOptions) (*GossipBenchResult, error) {
 	}, nil
 }
 
-// WriteJSON writes the result as indented JSON to path.
+// WriteJSON writes the result as indented JSON to path. When path already
+// holds a GossipBenchResult, its summary is prepended to this result's
+// history so the file accumulates the convergence trajectory across runs.
 func (r *GossipBenchResult) WriteJSON(path string) error {
-	b, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	r.History = carryHistory(path, r.History, func(old *GossipBenchResult) (GossipBenchHistoryEntry, []GossipBenchHistoryEntry, bool) {
+		return GossipBenchHistoryEntry{
+			GeneratedAt:            old.GeneratedAt,
+			ConvergedRounds:        old.ConvergedRounds,
+			ChurnReconvergedRounds: old.ChurnReconvergedRounds,
+			NsPerRound:             old.NsPerRound,
+		}, old.History, old.GeneratedAt != ""
+	})
+	return writeIndentedJSON(path, r)
 }
 
 // String renders the result for the terminal.

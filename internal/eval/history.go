@@ -1,0 +1,44 @@
+package eval
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// carryHistory reads the previous benchmark record at path and returns the
+// history the new record should carry: the previous run's summary entry
+// prepended to whatever history that run itself carried (newest first).
+// summarize receives the decoded previous result and returns its summary
+// entry, the history it carried, and whether it was a usable record. When
+// there is no usable previous record (no file, corrupt JSON, or a run with
+// no timestamp), the caller's current history is returned unchanged — a
+// fresh file starts the history the caller brought rather than erroring.
+//
+// Every bench WriteJSON must funnel through this helper: the plain
+// marshal-and-truncate pattern silently discards the trajectory CI tracks
+// across PRs.
+func carryHistory[R, H any](path string, current []H, summarize func(old *R) (entry H, history []H, ok bool)) []H {
+	prev, err := os.ReadFile(path)
+	if err != nil {
+		return current
+	}
+	var old R
+	if json.Unmarshal(prev, &old) != nil {
+		return current
+	}
+	entry, history, ok := summarize(&old)
+	if !ok {
+		return current
+	}
+	return append([]H{entry}, history...)
+}
+
+// writeIndentedJSON marshals v as indented JSON and writes it to path with
+// a trailing newline — the one file shape every BENCH_*.json shares.
+func writeIndentedJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

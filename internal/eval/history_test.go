@@ -1,0 +1,156 @@
+package eval
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readBack decodes the bench file at path into out.
+func readBack(t *testing.T, path string, out any) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelayBenchHistoryCarryForward: the second write of BENCH_relay.json
+// must carry the first run's summary (and its prior history) forward.
+func TestRelayBenchHistoryCarryForward(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_relay.json")
+	old := &RelayBenchResult{
+		Benchmark:   "x",
+		NsPerOp:     1000,
+		OpsPerSec:   1e6,
+		AllocsPerOp: 2,
+		GeneratedAt: "2026-07-01T00:00:00Z",
+		History: []RelayBenchHistoryEntry{
+			{GeneratedAt: "2026-06-01T00:00:00Z", NsPerOp: 1500},
+		},
+	}
+	if err := old.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &RelayBenchResult{Benchmark: "x", NsPerOp: 900, GeneratedAt: "2026-08-01T00:00:00Z"}
+	if err := fresh.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	var back RelayBenchResult
+	readBack(t, path, &back)
+	if len(back.History) != 2 {
+		t.Fatalf("history length %d, want 2: %+v", len(back.History), back.History)
+	}
+	if back.History[0].NsPerOp != 1000 || back.History[1].NsPerOp != 1500 {
+		t.Fatalf("history order wrong: %+v", back.History)
+	}
+	if back.History[0].GeneratedAt != "2026-07-01T00:00:00Z" {
+		t.Fatalf("first entry must be the previous run: %+v", back.History[0])
+	}
+}
+
+// TestGossipBenchHistoryCarryForward: same contract for BENCH_gossip.json.
+func TestGossipBenchHistoryCarryForward(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_gossip.json")
+	old := &GossipBenchResult{
+		Benchmark:       "x",
+		ConvergedRounds: 9,
+		NsPerRound:      5e6,
+		GeneratedAt:     "2026-07-01T00:00:00Z",
+	}
+	if err := old.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &GossipBenchResult{Benchmark: "x", ConvergedRounds: 8, GeneratedAt: "2026-08-01T00:00:00Z"}
+	if err := fresh.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	var back GossipBenchResult
+	readBack(t, path, &back)
+	if len(back.History) != 1 || back.History[0].ConvergedRounds != 9 {
+		t.Fatalf("history = %+v, want the first run's summary", back.History)
+	}
+}
+
+// TestBackendBenchHistoryCarryForward: same contract for BENCH_backend.json.
+func TestBackendBenchHistoryCarryForward(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_backend.json")
+	old := &BackendBenchResult{
+		Benchmark:            "x",
+		Availability:         0.97,
+		RecoveryAvailability: 1,
+		P95Ms:                4.2,
+		GeneratedAt:          "2026-07-01T00:00:00Z",
+	}
+	if err := old.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &BackendBenchResult{Benchmark: "x", Availability: 0.99, GeneratedAt: "2026-08-01T00:00:00Z"}
+	if err := fresh.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	var back BackendBenchResult
+	readBack(t, path, &back)
+	if len(back.History) != 1 || back.History[0].Availability != 0.97 {
+		t.Fatalf("history = %+v, want the first run's summary", back.History)
+	}
+}
+
+// TestAccountingBenchHistoryCarryForward: same contract for
+// BENCH_accounting.json.
+func TestAccountingBenchHistoryCarryForward(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_accounting.json")
+	old := &AccountingBenchResult{
+		Benchmark:   "x",
+		Admitted:    20,
+		Throttled:   400,
+		GeneratedAt: "2026-07-01T00:00:00Z",
+	}
+	if err := old.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &AccountingBenchResult{Benchmark: "x", Admitted: 25, GeneratedAt: "2026-08-01T00:00:00Z"}
+	if err := fresh.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	var back AccountingBenchResult
+	readBack(t, path, &back)
+	if len(back.History) != 1 || back.History[0].Throttled != 400 {
+		t.Fatalf("history = %+v, want the first run's summary", back.History)
+	}
+}
+
+// TestCarryHistoryIgnoresGarbage: a corrupt or foreign file must start a
+// fresh history rather than poison the write.
+func TestCarryHistoryIgnoresGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_relay.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := &RelayBenchResult{Benchmark: "x", GeneratedAt: "2026-08-01T00:00:00Z"}
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	var back RelayBenchResult
+	readBack(t, path, &back)
+	if len(back.History) != 0 {
+		t.Fatalf("garbage file produced history: %+v", back.History)
+	}
+
+	// A record with no timestamp (e.g. a hand-written stub) carries nothing.
+	if err := os.WriteFile(path, []byte(`{"benchmark":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back = RelayBenchResult{}
+	readBack(t, path, &back)
+	if len(back.History) != 0 {
+		t.Fatalf("timestampless record produced history: %+v", back.History)
+	}
+}

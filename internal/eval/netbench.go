@@ -1,9 +1,7 @@
 package eval
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"sync"
 	"time"
 
@@ -583,22 +581,14 @@ func measureQueryBatch(opts NetBenchOptions, query string) (NetBenchVariant, err
 // (along with any history it carried), so the file accumulates the
 // throughput trajectory across runs.
 func (r *NetBenchResult) WriteJSON(path string) error {
-	if prev, err := os.ReadFile(path); err == nil {
-		var old NetBenchResult
-		if json.Unmarshal(prev, &old) == nil && old.GeneratedAt != "" {
-			hist := []NetBenchHistoryEntry{{
-				GeneratedAt:            old.GeneratedAt,
-				TCPConcurrentOpsPerSec: old.TCPConcurrentOpsPerSec,
-				TCPNsPerOp:             old.TCPNsPerOp,
-			}}
-			r.History = append(hist, old.History...)
-		}
-	}
-	b, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	r.History = carryHistory(path, r.History, func(old *NetBenchResult) (NetBenchHistoryEntry, []NetBenchHistoryEntry, bool) {
+		return NetBenchHistoryEntry{
+			GeneratedAt:            old.GeneratedAt,
+			TCPConcurrentOpsPerSec: old.TCPConcurrentOpsPerSec,
+			TCPNsPerOp:             old.TCPNsPerOp,
+		}, old.History, old.GeneratedAt != ""
+	})
+	return writeIndentedJSON(path, r)
 }
 
 // String renders the result for the terminal.

@@ -1,9 +1,7 @@
 package eval
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
@@ -40,6 +38,17 @@ type RelayBenchResult struct {
 	BytesPerOp float64 `json:"bytes_per_op"`
 	// GeneratedAt stamps the measurement (RFC 3339).
 	GeneratedAt string `json:"generated_at"`
+	// History carries prior measurements forward, newest first.
+	History []RelayBenchHistoryEntry `json:"history,omitempty"`
+}
+
+// RelayBenchHistoryEntry is one prior BENCH_relay measurement, carried
+// forward so the file tracks the hot-path trajectory across runs.
+type RelayBenchHistoryEntry struct {
+	GeneratedAt string  `json:"generated_at"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // RunRelayBench measures the full forward round trip (client encode, pad,
@@ -95,13 +104,19 @@ func RunRelayBench(opts RelayBenchOptions) (*RelayBenchResult, error) {
 	}, nil
 }
 
-// WriteJSON writes the result as indented JSON to path.
+// WriteJSON writes the result as indented JSON to path. When path already
+// holds a RelayBenchResult, its summary is prepended to this result's
+// history so the file accumulates the hot-path trajectory across runs.
 func (r *RelayBenchResult) WriteJSON(path string) error {
-	b, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	r.History = carryHistory(path, r.History, func(old *RelayBenchResult) (RelayBenchHistoryEntry, []RelayBenchHistoryEntry, bool) {
+		return RelayBenchHistoryEntry{
+			GeneratedAt: old.GeneratedAt,
+			NsPerOp:     old.NsPerOp,
+			OpsPerSec:   old.OpsPerSec,
+			AllocsPerOp: old.AllocsPerOp,
+		}, old.History, old.GeneratedAt != ""
+	})
+	return writeIndentedJSON(path, r)
 }
 
 // String renders the result for the terminal.

@@ -52,9 +52,17 @@ const (
 	// (and the connection) rather than misparsing it.
 	frameQueryBatch  frameType = 11
 	frameAnswerBatch frameType = 12
+	// frameAccounting carries one misbehavior-ledger exchange (the
+	// internal/accounting PN-counter wire format) in each direction: the
+	// initiator's full ledger state out, the passive side's back on the same
+	// stream; both sides merge what they received. Added in PR 8,
+	// backward-additive like frameGossip: the header layout is unchanged and
+	// an older peer rejects the type (and the connection) rather than
+	// misparsing it.
+	frameAccounting frameType = 13
 
 	// frameTypeMax bounds the known types; anything above is rejected.
-	frameTypeMax = frameAnswerBatch
+	frameTypeMax = frameAccounting
 )
 
 // maxGossipLen bounds a gossip or view frame payload: a view buffer is
@@ -233,11 +241,14 @@ func decodeRespPayload(data []byte) (injectedNano int64, record []byte, err erro
 
 // Err frame failure codes. Unavailable maps to core.ErrRelayUnavailable at
 // the conduit boundary (retry with a replacement relay, timeout charged);
+// throttled maps to accounting.ErrClientThrottled at the service client
+// (the caller is over its per-client rate — back off, don't redial);
 // everything else is classified as relay misbehavior (blacklist, no
 // timeout).
 const (
 	errCodeUnavailable = 1
 	errCodeRejected    = 2
+	errCodeThrottled   = 3
 )
 
 // appendErrPayload encodes an err frame payload: code(1B) msg(str).

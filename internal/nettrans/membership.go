@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"cyclosa/internal/accounting"
 	"cyclosa/internal/backend"
 	"cyclosa/internal/rps"
 )
@@ -65,11 +66,26 @@ type MembershipConfig struct {
 	// `-mode view` shows the daemon's engine-resilience counters (shed,
 	// retries, breaker state) live during a brownout.
 	BackendStats func() backend.Stats
+	// Ledger, when non-nil, is the node's misbehavior PN-counter. Each
+	// gossip round appends a ledger exchange (frameAccounting) to the view
+	// exchange with the same peer, so blacklist-relevant counts converge
+	// network-wide without a coordinator; subjects whose merged count
+	// reaches MisbehaviorThreshold are blacklisted locally.
+	Ledger *accounting.Ledger
+	// MisbehaviorThreshold is the merged misbehavior count at which a
+	// subject is blacklisted (default 3; only meaningful with a Ledger).
+	MisbehaviorThreshold int64
+	// AdmissionStats, when non-nil, is sampled into every view snapshot so
+	// `-mode view` shows the daemon's admitted/throttled counters live.
+	AdmissionStats func() accounting.LimiterStats
 }
 
 func (cfg *MembershipConfig) applyDefaults() {
 	if cfg.Interval <= 0 {
 		cfg.Interval = time.Second
+	}
+	if cfg.MisbehaviorThreshold <= 0 {
+		cfg.MisbehaviorThreshold = 3
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -96,6 +112,12 @@ type ViewSnapshot struct {
 	// Backend is the daemon's engine-resilience counters; absent when the
 	// daemon runs a bare backend (no stack wired in).
 	Backend *backend.Stats `json:"backend,omitempty"`
+	// Admission is the daemon's per-client admission counters; absent when
+	// no rate limiter is wired in.
+	Admission *accounting.LimiterStats `json:"admission,omitempty"`
+	// Misbehavior is the gossip-merged per-subject misbehavior count; absent
+	// when no ledger is wired in or nothing has been recorded.
+	Misbehavior map[string]int64 `json:"misbehavior,omitempty"`
 }
 
 // dirEntry is the directory's cached attestation evidence for one peer.
@@ -151,6 +173,24 @@ func NewMembership(cfg MembershipConfig) *Membership {
 	}
 	rpsCfg := cfg.RPS
 	rpsCfg.Addr = cfg.Self.Addr
+	if cfg.Ledger != nil {
+		// Every blacklist transition — attestation verdict, misbehavior
+		// threshold, upper-layer report — records threshold-weight evidence
+		// in the ledger, exactly once, so the verdict propagates: peers that
+		// merge this node's ledger reach the same conclusion without
+		// re-observing the misbehavior. Threshold-driven blacklists change
+		// nothing here (their evidence is already at threshold).
+		ledger, threshold := cfg.Ledger, cfg.MisbehaviorThreshold
+		prev := rpsCfg.OnBlacklist
+		rpsCfg.OnBlacklist = func(id rps.NodeID) {
+			if ledger.Value(string(id)) < threshold {
+				ledger.Inc(string(id), uint64(threshold))
+			}
+			if prev != nil {
+				prev(id)
+			}
+		}
+	}
 	return &Membership{
 		cfg:      cfg,
 		node:     rps.NewNode(cfg.Self.ID, nil, rpsCfg),
@@ -278,6 +318,101 @@ func (m *Membership) Round() {
 	m.rounds++
 	m.mu.Unlock()
 	m.reconcile()
+	// The ledger exchange rides the same round against the same peer: the
+	// view exchange just proved it reachable. Its failure is logged, not
+	// charged — an old peer that rejects the frame type (backward-additive
+	// extension) is healthy, merely behind.
+	if m.cfg.Ledger != nil {
+		if err := m.exchangeLedger(peer.Addr); err != nil {
+			m.cfg.Logf("membership: ledger exchange with %s (%s): %v", peer.ID, peer.Addr, err)
+		}
+	}
+}
+
+// exchangeLedger runs the active half of one misbehavior-ledger exchange
+// against addr: send our full PN-counter state as an accounting frame,
+// merge the reply, re-evaluate changed subjects against the blacklist
+// threshold.
+func (m *Membership) exchangeLedger(addr string) error {
+	payload := getFrame()
+	enc := m.cfg.Ledger.AppendWire((*payload)[:0])
+	*payload = enc
+	h, buf, err := m.pool.RoundTrip(addr, frameAccounting, enc)
+	putFrame(payload)
+	if err != nil {
+		return err
+	}
+	defer putFrame(buf)
+	switch h.typ {
+	case frameAccounting:
+		changed, err := m.cfg.Ledger.MergeWire(*buf)
+		if err != nil {
+			return fmt.Errorf("bad accounting reply: %w", err)
+		}
+		m.applyThresholds(changed)
+		return nil
+	case frameErr:
+		_, msg, derr := decodeErrPayload(*buf)
+		if derr != nil {
+			return fmt.Errorf("accounting exchange rejected by %s", addr)
+		}
+		return fmt.Errorf("accounting exchange rejected by %s: %s", addr, msg)
+	default:
+		return fmt.Errorf("unexpected frame type %d in accounting reply", h.typ)
+	}
+}
+
+// HandleAccounting is the passive half, called by the server read loop for
+// every inbound accounting frame: merge the initiator's PN-counter state,
+// return ours (appended to dst). Blacklisted initiators are refused like
+// gossip — their evidence could be fabricated wholesale.
+func (m *Membership) HandleAccounting(peerID string, payload []byte, dst []byte) ([]byte, error) {
+	if m.cfg.Ledger == nil {
+		return dst, errors.New("nettrans: no misbehavior ledger")
+	}
+	if m.node.IsBlacklisted(rps.NodeID(peerID)) {
+		return dst, fmt.Errorf("%w: %s", ErrGossipSuppressed, peerID)
+	}
+	changed, err := m.cfg.Ledger.MergeWire(payload)
+	if err != nil {
+		return dst, fmt.Errorf("bad accounting buffer: %w", err)
+	}
+	m.applyThresholds(changed)
+	return m.cfg.Ledger.AppendWire(dst), nil
+}
+
+// applyThresholds blacklists every listed subject whose merged misbehavior
+// count has reached the threshold. It never blacklists self (a node keeps
+// serving while operators investigate — the rest of the overlay shuns it
+// regardless) and never re-charges the ledger (the evidence that got the
+// subject here is already in it), so threshold crossing cannot feed back
+// into itself.
+func (m *Membership) applyThresholds(subjects []string) {
+	for _, id := range subjects {
+		if id == string(m.cfg.Self.ID) || m.node.IsBlacklisted(rps.NodeID(id)) {
+			continue
+		}
+		if v := m.cfg.Ledger.Value(id); v >= m.cfg.MisbehaviorThreshold {
+			m.cfg.Logf("membership: %s reached misbehavior count %d (threshold %d), blacklisting", id, v, m.cfg.MisbehaviorThreshold)
+			m.node.Blacklist(rps.NodeID(id))
+			m.mu.Lock()
+			delete(m.dir, id)
+			m.mu.Unlock()
+		}
+	}
+}
+
+// ReportMisbehavior charges subject with delta units of locally observed
+// misbehavior and blacklists it if the merged count reaches the threshold.
+// This is the upper-layer hook (relay protocol violations, forged answers);
+// without a ledger it degrades to an immediate local blacklist.
+func (m *Membership) ReportMisbehavior(subject string, delta uint64) {
+	if m.cfg.Ledger == nil {
+		m.Blacklist(subject)
+		return
+	}
+	m.cfg.Ledger.Inc(subject, delta)
+	m.applyThresholds([]string{subject})
 }
 
 // exchangeWith runs the active half of one push-pull exchange against addr:
@@ -419,6 +554,9 @@ func (m *Membership) attest(id, addr string) {
 	}
 	if errors.Is(err, ErrAttestRejected) {
 		m.cfg.Logf("membership: %s at %s failed attestation, blacklisting: %v", id, addr, err)
+		// The rps OnBlacklist hook records the ledger evidence, so the
+		// verdict gossips: peers merge the count instead of each having to
+		// re-verify a forged quote for themselves.
 		m.node.Blacklist(rps.NodeID(id))
 		return
 	}
@@ -446,6 +584,9 @@ func (m *Membership) Resolve(id string) (string, bool) {
 // Blacklist evicts a peer from the view and the directory and refuses its
 // descriptor forever — the hook for upper layers that detect relay
 // misbehavior (PR 3's blacklist semantics, extended to the control plane).
+// With a ledger wired in, the rps OnBlacklist hook records the verdict at
+// threshold weight so it propagates: peers that merge this node's ledger
+// reach the same conclusion without re-observing the misbehavior.
 func (m *Membership) Blacklist(id string) {
 	m.node.Blacklist(rps.NodeID(id))
 	m.mu.Lock()
@@ -467,6 +608,15 @@ func (m *Membership) Snapshot() ViewSnapshot {
 	if m.cfg.BackendStats != nil {
 		bs := m.cfg.BackendStats()
 		snap.Backend = &bs
+	}
+	if m.cfg.AdmissionStats != nil {
+		as := m.cfg.AdmissionStats()
+		snap.Admission = &as
+	}
+	if m.cfg.Ledger != nil {
+		if mv := m.cfg.Ledger.Values(); len(mv) > 0 {
+			snap.Misbehavior = mv
+		}
 	}
 	for _, d := range view {
 		p := PeerInfo{ID: string(d.ID), Addr: d.Addr, Age: d.Age}

@@ -436,7 +436,7 @@ func (pc *poolConn) readLoop() {
 			return
 		}
 		switch h.typ {
-		case frameResp, frameAnswer, frameErr, frameGossip, frameView:
+		case frameResp, frameAnswer, frameErr, frameGossip, frameView, frameAccounting:
 			if !pc.st.deliver(h.stream, callResult{hdr: h, buf: buf}) {
 				putFrame(buf) // waiter timed out: drop the late answer
 			}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"cyclosa/internal/accounting"
 	"cyclosa/internal/core"
 	"cyclosa/internal/transport"
 )
@@ -26,6 +27,15 @@ type ServerConfig struct {
 	// passive half of view exchanges and the introspection snapshot. nil
 	// rejects both (data-plane-only server).
 	Membership *Membership
+	// Admission, when non-nil, rate-limits the attested query plane per
+	// client (keyed by hello identity). Over-quota single queries are shed
+	// before decrypt — the record's sequence number is consumed
+	// (securechan.Session.Skip) so the strict counter-nonce session stays in
+	// sync, but no AEAD or engine work is spent — and refused with a
+	// throttled err frame. Batched queries decrypt first (their routing
+	// stream IDs live inside the sealed record), then the over-quota suffix
+	// is shed per stream.
+	Admission *accounting.Limiter
 	// MaxFrame bounds a frame payload (default DefaultMaxFrame).
 	MaxFrame int
 	// MaxInFlight bounds concurrently dispatched exchanges across all
@@ -358,6 +368,23 @@ func (s *Server) serveConn(nc net.Conn) {
 				s.cfg.Logf("nettrans: %s: query before attestation", nc.RemoteAddr())
 				return
 			}
+			// Admission precedes decrypt: an over-quota record must cost no
+			// AEAD work, only a sequence-number skip to keep the strict
+			// counter-nonce session in sync.
+			if s.cfg.Admission != nil && s.cfg.Admission.Allow(peer) != nil {
+				err := svc.skipRecord(*buf)
+				putFrame(buf)
+				if err != nil {
+					// A bad sequence prefix means the session is broken either
+					// way; cut, exactly as a failed decrypt would.
+					s.cfg.Logf("nettrans: %s: throttled query skip: %v", nc.RemoteAddr(), err)
+					return
+				}
+				if fc.writeErrFrame(h.stream, errCodeThrottled, "client over rate limit") != nil {
+					return
+				}
+				continue
+			}
 			// Decrypt in the read loop — records must be opened in arrival
 			// order — then dispatch the engine work.
 			work, err := svc.prepareQuery(h, *buf)
@@ -381,13 +408,34 @@ func (s *Server) serveConn(nc net.Conn) {
 			}
 			// Same read-loop decrypt rule as single queries: records open in
 			// arrival order, then the engine work for the whole batch is one
-			// dispatch.
-			work, streams, err := svc.prepareQueryBatch(h, *buf)
+			// dispatch. A batch cannot be shed before decrypt — its routing
+			// stream IDs ride inside the sealed record — so admission runs
+			// just after: the first AllowN(n) entries proceed, the over-quota
+			// suffix is refused per stream.
+			streams, queries, err := svc.prepareQueryBatch(*buf)
 			putFrame(buf)
 			if err != nil {
 				s.cfg.Logf("nettrans: %s: query batch: %v", nc.RemoteAddr(), err)
 				return
 			}
+			if s.cfg.Admission != nil {
+				admitted := s.cfg.Admission.AllowN(peer, len(streams))
+				shedOK := true
+				for _, stream := range streams[admitted:] {
+					if fc.writeErrFrame(stream, errCodeThrottled, "client over rate limit") != nil {
+						shedOK = false
+						break
+					}
+				}
+				if !shedOK {
+					return
+				}
+				streams, queries = streams[:admitted], queries[:admitted]
+				if len(streams) == 0 {
+					continue
+				}
+			}
+			work := func() { svc.answerBatch(streams, queries) }
 			if !s.dispatch(work) {
 				// Refuse each batched query on its own stream — the routing
 				// IDs live inside the record, not the frame header.
@@ -428,6 +476,41 @@ func (s *Server) serveConn(nc net.Conn) {
 			}
 			*reply = out
 			werr := fc.writeFrame(frameGossip, h.stream, out)
+			putFrame(reply)
+			if werr != nil {
+				return
+			}
+		case frameAccounting:
+			// The passive half of a misbehavior-ledger exchange: merge the
+			// initiator's PN-counter state, reply with ours. A few map
+			// merges, so it runs inline like gossip.
+			if len(*buf) > maxGossipLen {
+				putFrame(buf)
+				if fc.writeErrFrame(h.stream, errCodeRejected, "accounting payload exceeds limit") != nil {
+					return
+				}
+				continue
+			}
+			if s.cfg.Membership == nil {
+				putFrame(buf)
+				if fc.writeErrFrame(h.stream, errCodeRejected, "no membership plane") != nil {
+					return
+				}
+				continue
+			}
+			reply := getFrame()
+			out, aerr := s.cfg.Membership.HandleAccounting(peer, *buf, (*reply)[:0])
+			putFrame(buf)
+			if aerr != nil {
+				putFrame(reply)
+				s.cfg.Logf("nettrans: %s: accounting: %v", nc.RemoteAddr(), aerr)
+				if fc.writeErrFrame(h.stream, errCodeRejected, aerr.Error()) != nil {
+					return
+				}
+				continue
+			}
+			*reply = out
+			werr := fc.writeFrame(frameAccounting, h.stream, out)
 			putFrame(reply)
 			if werr != nil {
 				return

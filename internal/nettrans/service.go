@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cyclosa/internal/accounting"
 	"cyclosa/internal/backend"
 	"cyclosa/internal/core"
 	"cyclosa/internal/searchengine"
@@ -120,6 +121,13 @@ func (sc *serviceConn) handleAttest(h header, payload []byte) error {
 	return nil
 }
 
+// skipRecord consumes an over-quota record's sequence number without
+// opening it — the shed path of pre-decrypt admission. See
+// securechan.Session.Skip for why a record can never simply be dropped.
+func (sc *serviceConn) skipRecord(payload []byte) error {
+	return sc.sess.Skip(payload)
+}
+
 // prepareQuery opens one query record — in the read loop, because records
 // must be decrypted in arrival order — and returns the engine work to
 // dispatch. A decrypt failure is unrecoverable (the session is
@@ -183,15 +191,16 @@ func appendAnswerEntry(pt []byte, stream uint64, results []searchengine.Result, 
 }
 
 // prepareQueryBatch opens one query-batch record in the read loop (records
-// decrypt in arrival order) and returns the engine work for all entries as
-// one dispatch, plus the entry streams for drain refusal. Queries are
-// copied out of the decrypt scratch before the next record reuses it.
+// decrypt in arrival order) and returns the decoded entries: parallel
+// stream/query slices the server dispatches — after per-stream admission —
+// as one answerBatch call. Queries are copied out of the decrypt scratch
+// before the next record reuses it.
 //
 // Batch record plaintext: count(1B), then count × {stream(8B) query(str)}.
 // The routing stream IDs ride inside the authenticated record instead of
 // the cleartext frame header, so there is no per-entry echo to check — GCM
 // already binds them to the session.
-func (sc *serviceConn) prepareQueryBatch(h header, payload []byte) (func(), []uint64, error) {
+func (sc *serviceConn) prepareQueryBatch(payload []byte) ([]uint64, []string, error) {
 	pt, err := sc.sess.DecryptAppend(sc.ptBuf[:0], payload)
 	if err != nil {
 		return nil, nil, fmt.Errorf("query batch decrypt: %w", err)
@@ -223,7 +232,7 @@ func (sc *serviceConn) prepareQueryBatch(h header, payload []byte) (func(), []ui
 	if len(rest) != 0 {
 		return nil, nil, errors.New("query batch record: trailing bytes")
 	}
-	return func() { sc.answerBatch(streams, queries) }, streams, nil
+	return streams, queries, nil
 }
 
 // answerBatch answers every batched query concurrently: each entry runs the
@@ -722,11 +731,19 @@ func (c *Client) readLoop() {
 				return
 			}
 		case frameErr:
-			_, msg, derr := decodeErrPayload(*buf)
+			code, msg, derr := decodeErrPayload(*buf)
 			// msg aliases buf: build the error before the release.
-			res := qResult{err: fmt.Errorf("nettrans: server rejected query: %s", msg)}
-			if derr != nil {
+			var res qResult
+			switch {
+			case derr != nil:
 				res.err = fmt.Errorf("nettrans: server rejected query")
+			case code == errCodeThrottled:
+				// Typed so callers can errors.Is(err,
+				// accounting.ErrClientThrottled) and back off instead of
+				// retrying or redialing.
+				res.err = fmt.Errorf("nettrans: %w: %s", accounting.ErrClientThrottled, msg)
+			default:
+				res.err = fmt.Errorf("nettrans: server rejected query: %s", msg)
 			}
 			putFrame(buf)
 			c.st.deliver(h.stream, res)

@@ -40,6 +40,13 @@ type Config struct {
 	// Addr is the transport address this node advertises in the self
 	// descriptor it gossips (empty for in-process overlays).
 	Addr string
+	// OnBlacklist, when non-nil, fires exactly once per peer on its
+	// not-blacklisted → blacklisted transition, whichever path triggered it
+	// (protocol deadline, attestation verdict, upper-layer report). The
+	// accounting plane hooks this to record ledger evidence for every
+	// blacklist without each call site charging it separately. Called
+	// outside the node lock; implementations may call back into the node.
+	OnBlacklist func(NodeID)
 }
 
 func (c *Config) applyDefaults() {
@@ -136,9 +143,13 @@ func (n *Node) View() []Descriptor {
 // is also gossip-suppressed: this node never forwards its descriptor again.
 func (n *Node) Blacklist(id NodeID) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	_, already := n.blacklist[id]
 	n.blacklist[id] = struct{}{}
 	n.view = removeID(n.view, id)
+	n.mu.Unlock()
+	if !already && n.cfg.OnBlacklist != nil {
+		n.cfg.OnBlacklist(id)
+	}
 }
 
 // IsBlacklisted reports whether this node refuses to keep id in its view.

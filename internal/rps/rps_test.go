@@ -95,6 +95,29 @@ func TestBlacklist(t *testing.T) {
 	}
 }
 
+func TestOnBlacklistFiresOncePerTransition(t *testing.T) {
+	var fired []NodeID
+	n := NewNode("self", []NodeID{"a", "b"}, Config{
+		ViewSize:    8,
+		Seed:        6,
+		OnBlacklist: func(id NodeID) { fired = append(fired, id) },
+	})
+	n.Blacklist("a")
+	n.Blacklist("a") // repeat: no second notification
+	n.Blacklist("b")
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Fatalf("OnBlacklist fired %v, want [a b]", fired)
+	}
+	// The hook may call back into the node (it fires outside the lock).
+	reentrant := NewNode("self2", []NodeID{"x"}, Config{ViewSize: 8, Seed: 7})
+	reentrant.cfg.OnBlacklist = func(id NodeID) {
+		if !reentrant.IsBlacklisted(id) {
+			t.Errorf("hook sees %s not yet blacklisted", id)
+		}
+	}
+	reentrant.Blacklist("x")
+}
+
 func TestMergeDeduplicatesKeepingFreshest(t *testing.T) {
 	n := NewNode("self", []NodeID{"a"}, Config{ViewSize: 8, Seed: 7})
 	n.Tick()

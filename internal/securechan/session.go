@@ -174,6 +174,37 @@ func (s *Session) DecryptAppend(dst, record []byte) ([]byte, error) {
 	return pt, nil
 }
 
+// Skip consumes a record's sequence number without opening it. The service
+// edge uses this to shed over-quota records before spending AEAD work on
+// them: the strict counter-nonce discipline means a record can never simply
+// be ignored (the next DecryptAppend would see a mismatched sequence and
+// poison the session), so shedding must still advance the receive counter.
+// The clear 8-byte sequence prefix is checked against the session state —
+// replayed or reordered records are rejected exactly as in DecryptAppend —
+// and the nonce observer fires so strict-sequence invariant checkers stay
+// consistent. The record's payload is discarded unauthenticated; that is
+// acceptable because the throttling decision was made before, and
+// independent of, its content.
+func (s *Session) Skip(record []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(record) < 8 {
+		return ErrTooShort
+	}
+	seq := binary.BigEndian.Uint64(record[:8])
+	if seq != s.recvSeq {
+		return fmt.Errorf("%w: got seq %d, want %d", ErrDecrypt, seq, s.recvSeq)
+	}
+	if obs := nonceObserver.Load(); obs != nil {
+		(*obs)(s, false, seq)
+	}
+	s.recvSeq++
+	return nil
+}
+
 // Close invalidates the session. Idempotent; the close observer fires only
 // on the open -> closed transition.
 func (s *Session) Close() {

@@ -116,7 +116,7 @@ type BackendChaosReport struct {
 	// Backend sums every node's decorator-stack counters; InjectedErrs and
 	// InjectedHangs sum the fault injectors' draws (proof the brownout
 	// actually bit).
-	Backend                    backend.Stats
+	Backend                     backend.Stats
 	InjectedErrs, InjectedHangs uint64
 
 	// ErrClasses counts surfaced engine failures by taxonomy class, plus

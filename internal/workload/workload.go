@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 
@@ -88,15 +89,40 @@ type zipfGen struct {
 	seed int64
 }
 
+// Validate checks the config and fills in defaults: PoolSize 0 means 1024
+// and S 0 means 1.2, but an explicit out-of-range value is an error rather
+// than a silent rewrite — rand.NewZipf returns nil for s <= 1 (NaN and ±Inf
+// included), which would otherwise surface as a panic on the first draw,
+// and a pool of fewer than two queries has no popularity distribution at
+// all (PoolSize 1 makes the rand.NewZipf imax underflow-adjacent zero and
+// every draw identical).
+func (cfg *ZipfConfig) Validate() error {
+	switch {
+	case cfg.PoolSize == 0:
+		cfg.PoolSize = 1024
+	case cfg.PoolSize < 2:
+		return fmt.Errorf("workload: zipf pool size %d: need >= 2 queries for a popularity distribution", cfg.PoolSize)
+	}
+	switch {
+	case cfg.S == 0:
+		cfg.S = 1.2
+	case math.IsNaN(cfg.S) || math.IsInf(cfg.S, 0) || cfg.S <= 1:
+		return fmt.Errorf("workload: zipf exponent %v: need a finite s > 1", cfg.S)
+	}
+	return nil
+}
+
 // NewZipf builds a Zipf-popularity generator over queries synthesized from
 // the universe vocabulary (two to three topic terms each, the shape of the
-// synthetic workload's queries).
-func NewZipf(uni *queries.Universe, cfg ZipfConfig) Generator {
-	if cfg.PoolSize <= 0 {
-		cfg.PoolSize = 1024
+// synthetic workload's queries). The config is validated at construction so
+// a bad exponent or degenerate pool fails here, not as a nil-Zipf panic on
+// the first draw.
+func NewZipf(uni *queries.Universe, cfg ZipfConfig) (Generator, error) {
+	if uni == nil || len(uni.Topics) == 0 {
+		return nil, fmt.Errorf("workload: zipf generator needs a universe with topics")
 	}
-	if cfg.S <= 1 {
-		cfg.S = 1.2
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	pool := make([]string, cfg.PoolSize)
@@ -109,7 +135,7 @@ func NewZipf(uni *queries.Universe, cfg ZipfConfig) Generator {
 		}
 		pool[i] = strings.Join(terms, " ")
 	}
-	return &zipfGen{pool: pool, s: cfg.S, seed: cfg.Seed}
+	return &zipfGen{pool: pool, s: cfg.S, seed: cfg.Seed}, nil
 }
 
 func (g *zipfGen) Stream(client, _ int) Stream {
@@ -174,7 +200,7 @@ func ParseGenerator(spec string, uni *queries.Universe, trace []string, seed int
 		if uni == nil {
 			return nil, fmt.Errorf("workload: zipf workload needs a universe")
 		}
-		return NewZipf(uni, ZipfConfig{Seed: seed}), nil
+		return NewZipf(uni, ZipfConfig{Seed: seed})
 	case "trace":
 		if len(trace) == 0 {
 			return nil, fmt.Errorf("workload: trace workload needs a non-empty trace")

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -10,6 +11,15 @@ import (
 
 func testUniverse() *queries.Universe {
 	return queries.NewUniverse(queries.UniverseConfig{Seed: 3})
+}
+
+func mustZipf(t *testing.T, uni *queries.Universe, cfg ZipfConfig) Generator {
+	t.Helper()
+	gen, err := NewZipf(uni, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
 }
 
 func drain(s Stream, n int) []string {
@@ -29,7 +39,7 @@ func TestStreamsAreDeterministic(t *testing.T) {
 	}{
 		{"fixed", func() Generator { return Fixed("probe") }},
 		{"round-robin", func() Generator { return RoundRobin(trace) }},
-		{"zipf", func() Generator { return NewZipf(uni, ZipfConfig{Seed: 11}) }},
+		{"zipf", func() Generator { return mustZipf(t, uni, ZipfConfig{Seed: 11}) }},
 		{"replay", func() Generator { return ReplayQueries(trace) }},
 	}
 	for _, tt := range tests {
@@ -72,7 +82,7 @@ func TestReplayPartitionCoversTraceExactly(t *testing.T) {
 }
 
 func TestZipfPopularityIsSkewed(t *testing.T) {
-	gen := NewZipf(testUniverse(), ZipfConfig{Seed: 7, PoolSize: 64})
+	gen := mustZipf(t, testUniverse(), ZipfConfig{Seed: 7, PoolSize: 64})
 	counts := map[string]int{}
 	for _, q := range drain(gen.Stream(0, 1), 4000) {
 		counts[q]++
@@ -270,6 +280,50 @@ func TestRunWarmupExcludedFromResults(t *testing.T) {
 	}
 	if measured.Load() != ops || res.Ops != ops {
 		t.Fatalf("measured ops = %d (result %d), want %d", measured.Load(), res.Ops, ops)
+	}
+}
+
+// TestZipfConfigBoundaries: explicit out-of-range configs must fail at
+// construction with an error — never reach rand.NewZipf's nil return (a
+// panic on the first draw) or a degenerate one-query pool.
+func TestZipfConfigBoundaries(t *testing.T) {
+	uni := testUniverse()
+	tests := []struct {
+		name    string
+		cfg     ZipfConfig
+		wantErr bool
+	}{
+		{"defaults", ZipfConfig{Seed: 1}, false},
+		{"explicit valid", ZipfConfig{Seed: 1, PoolSize: 2, S: 1.01}, false},
+		{"pool size 1", ZipfConfig{Seed: 1, PoolSize: 1}, true},
+		{"pool size negative", ZipfConfig{Seed: 1, PoolSize: -5}, true},
+		{"exponent 1 (rand.NewZipf nil)", ZipfConfig{Seed: 1, S: 1}, true},
+		{"exponent below 1", ZipfConfig{Seed: 1, S: 0.5}, true},
+		{"exponent negative", ZipfConfig{Seed: 1, S: -2}, true},
+		{"exponent NaN", ZipfConfig{Seed: 1, S: math.NaN()}, true},
+		{"exponent +Inf", ZipfConfig{Seed: 1, S: math.Inf(1)}, true},
+		{"exponent -Inf", ZipfConfig{Seed: 1, S: math.Inf(-1)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			gen, err := NewZipf(uni, tt.cfg)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("NewZipf(%+v) succeeded, want error", tt.cfg)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewZipf(%+v): %v", tt.cfg, err)
+			}
+			// The first draw is where a nil rand.Zipf would panic.
+			if q := gen.Stream(0, 1).Next(); q == "" {
+				t.Fatal("valid generator produced an empty query")
+			}
+		})
+	}
+	if _, err := NewZipf(nil, ZipfConfig{Seed: 1}); err == nil {
+		t.Fatal("nil universe accepted")
 	}
 }
 
