@@ -7,6 +7,7 @@
 //
 //	cyclosa-node -mode node -listen :7844                     # seed daemon
 //	cyclosa-node -mode node -listen :7845 -bootstrap host:7844
+//	cyclosa-node -mode node -listen :7844 -ops-addr 127.0.0.1:7890  # + HTTP ops surface
 //	cyclosa-node -mode client -connect host:7844 -query "terms"
 //	cyclosa-node -mode client -connect host:7844 -n 100 -concurrency 8
 //	cyclosa-node -mode view -connect host:7844                # view introspection
@@ -42,13 +43,22 @@
 // overload shedding), tuned by the -engine-* flags; out-of-range values are
 // rejected at start-up with usage, and the stack's live counters appear in
 // `-mode view` output.
+//
+// -ops-addr starts the HTTP operations surface (internal/telemetry):
+// Prometheus metrics at /metrics, liveness and readiness probes at /healthz
+// and /readyz, the live membership view as JSON at /view (no attested TCP
+// hop), the recent query-lifecycle trace ring at /debug/traces, and pprof
+// under /debug/pprof/. An unbindable -ops-addr is rejected at start-up with
+// usage, like every other invalid flag.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"sort"
@@ -67,6 +77,7 @@ import (
 	"cyclosa/internal/rps"
 	"cyclosa/internal/searchengine"
 	"cyclosa/internal/securechan"
+	"cyclosa/internal/telemetry"
 )
 
 func main() {
@@ -94,6 +105,7 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 		advertise   = fs.String("advertise", "", "address gossiped to peers (default: the bound listen address)")
 		gossipEvery = fs.Duration("gossip-interval", time.Second, "gossip round period")
 		iasSecret   = fs.String("ias-secret", "cyclosa-demo", "shared attestation provisioning secret")
+		opsAddr     = fs.String("ops-addr", "", "daemon: HTTP ops listener serving /metrics, /healthz, /readyz, /view, /debug/traces and /debug/pprof (empty disables; node and demo modes)")
 
 		engineTimeout  = fs.Duration("engine-timeout", 800*time.Millisecond, "daemon: total per-query engine budget (attempts, backoffs and retries all inside it)")
 		engineRetries  = fs.Int("engine-retries", 2, "daemon: max engine retries per query (0 disables retrying)")
@@ -129,6 +141,19 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 		fs.Usage()
 		return err
 	}
+	// Bind the ops listener here, not inside the daemon: an unbindable
+	// -ops-addr (occupied port, bad syntax) must exit non-zero with usage at
+	// start-up, exactly like the engine and admission flags, rather than
+	// surfacing minutes later as a silently missing metrics endpoint.
+	var opsLn net.Listener
+	if *opsAddr != "" && (*mode == "node" || *mode == "relay" || *mode == "demo") {
+		opsLn, err = net.Listen("tcp", *opsAddr)
+		if err != nil {
+			fs.SetOutput(os.Stderr)
+			fs.Usage()
+			return fmt.Errorf("ops-addr: %w", err)
+		}
+	}
 
 	env := newAttestationEnv(*iasSecret)
 	switch *mode {
@@ -142,6 +167,7 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 			gossipEvery: *gossipEvery,
 			engine:      engine,
 			admission:   admission,
+			opsLn:       opsLn,
 		}, ready, stop)
 	case "client":
 		return runClient(env, *connect, *query, *n, *concurrency, *seed)
@@ -152,7 +178,7 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 		stopCh := make(chan struct{})
 		errCh := make(chan error, 1)
 		go func() {
-			errCh <- runNode(env, nodeConfig{listen: "127.0.0.1:0", id: *id, seed: *seed, engine: engine, admission: admission}, readyCh, stopCh)
+			errCh <- runNode(env, nodeConfig{listen: "127.0.0.1:0", id: *id, seed: *seed, engine: engine, admission: admission, opsLn: opsLn}, readyCh, stopCh)
 		}()
 		select {
 		case addr := <-readyCh:
@@ -222,6 +248,14 @@ type nodeConfig struct {
 	// service edge, before decrypt and dispatch (nil = unthrottled, only
 	// reachable from tests — the flag path always builds one).
 	admission *accounting.Limiter
+	// opsLn is the pre-bound HTTP ops listener (nil disables the ops
+	// surface). Binding happens in run() so flag validation catches an
+	// unusable -ops-addr; the daemon takes ownership.
+	opsLn net.Listener
+	// drainHook, when non-nil, is called between drain stages (test seam
+	// for shutdown-order assertions). Stages: "frame-drained" fires after
+	// the goaway drain completes and before the ops server shuts down.
+	drainHook func(stage string)
 }
 
 // runNode runs the long-running relay daemon until a signal (or stop
@@ -273,6 +307,10 @@ func runNode(env *attestationEnv, cfg nodeConfig, ready chan<- string, stop <-ch
 	// frame, so a blacklist verdict reached here convinces the rest of the
 	// overlay without a coordinator.
 	ledger := accounting.NewLedger(cfg.id)
+	// srv is assigned below, before any goroutine serves traffic; the
+	// closure lets view snapshots sample the server's write-path counters
+	// even though the server is built after the membership plane.
+	var srv *nettrans.Server
 	memCfg := nettrans.MembershipConfig{
 		Self:       rps.Descriptor{ID: rps.NodeID(cfg.id)},
 		Bootstrap:  cfg.bootstrap,
@@ -284,6 +322,12 @@ func runNode(env *attestationEnv, cfg nodeConfig, ready chan<- string, stop <-ch
 		// Surface the stack's counters in every view snapshot so `-mode
 		// view` shows brownout state (shed, retries, breaker) live.
 		BackendStats: stack.Stats,
+		WriteStats: func() nettrans.WriteStatsSnapshot {
+			if srv == nil {
+				return nettrans.WriteStatsSnapshot{}
+			}
+			return srv.WriteStats()
+		},
 	}
 	if cfg.admission != nil {
 		memCfg.AdmissionStats = cfg.admission.Stats
@@ -291,7 +335,7 @@ func runNode(env *attestationEnv, cfg nodeConfig, ready chan<- string, stop <-ch
 	membership := nettrans.NewMembership(memCfg)
 	defer membership.Stop()
 
-	srv := nettrans.NewServer(nettrans.ServerConfig{
+	srv = nettrans.NewServer(nettrans.ServerConfig{
 		ID:         cfg.id,
 		Service:    &nettrans.RelayService{Handshaker: hs, Backend: stack, Source: cfg.id},
 		Membership: membership,
@@ -308,6 +352,40 @@ func runNode(env *attestationEnv, cfg nodeConfig, ready chan<- string, stop <-ch
 	}
 	membership.SetAdvertise(adv)
 	fmt.Printf("node %s: listening on %s, advertising %s (enclave %s)\n", cfg.id, addr, adv, encl.Measurement())
+
+	// The ops surface pairs the process-wide registry (hot-path counters
+	// and histograms from core/nettrans) with an instance registry of
+	// sampled gauges over this daemon's subsystems. readyFlag gates
+	// /readyz: true only once the overlay join finished and the frame
+	// listener serves — "joined + attested + serving".
+	var readyFlag atomic.Bool
+	var ops *telemetry.OpsServer
+	if cfg.opsLn != nil {
+		inst := telemetry.NewRegistry()
+		registerNodeMetrics(inst, stack, cfg.admission, ledger, membership, srv)
+		ops = telemetry.NewOpsServer(telemetry.OpsConfig{
+			Registries: []*telemetry.Registry{telemetry.Default(), inst},
+			Traces:     telemetry.Traces(),
+			View:       func() (any, error) { return membership.Snapshot(), nil },
+			Ready:      readyFlag.Load,
+			Logf:       logf,
+		})
+		opsLn := cfg.opsLn
+		go func() {
+			if err := ops.ServeListener(opsLn); err != nil {
+				logf("ops server: %v", err)
+			}
+		}()
+		// Idempotent backstop for early-error returns (e.g. bootstrap
+		// failure): the graceful drain below shuts the server down first,
+		// making this a no-op.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = ops.Shutdown(ctx)
+			cancel()
+		}()
+		fmt.Printf("node %s: ops surface on http://%s (/metrics /healthz /readyz /view /debug/traces /debug/pprof)\n", cfg.id, opsLn.Addr())
+	}
 
 	// Catch shutdown signals before the bootstrap: unreachable seeds cost
 	// dial timeouts, and a SIGTERM in that window must still reach the
@@ -331,6 +409,7 @@ func runNode(env *attestationEnv, cfg nodeConfig, ready chan<- string, stop <-ch
 		fmt.Printf("node %s: joined overlay via %s\n", cfg.id, strings.Join(cfg.bootstrap, ", "))
 	}
 	membership.Start()
+	readyFlag.Store(true)
 	if ready != nil {
 		ready <- addr.String()
 	}
@@ -342,8 +421,27 @@ func runNode(env *attestationEnv, cfg nodeConfig, ready chan<- string, stop <-ch
 		fmt.Printf("node %s: %s, draining\n", cfg.id, s)
 	case <-stop:
 	}
+	// Drain order: flip readiness (load balancers stop routing), stop
+	// gossip, close the frame listener and wait out the goaway drain —
+	// and only then shut the ops listener down. A scrape racing the drain
+	// completes against the fully drained process, so the fleet's last
+	// sample of this daemon reflects its final state instead of a dropped
+	// connection.
+	readyFlag.Store(false)
 	membership.Stop()
-	return srv.Close()
+	srvErr := srv.Close()
+	if cfg.drainHook != nil {
+		cfg.drainHook("frame-drained")
+	}
+	if ops != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		opsErr := ops.Shutdown(ctx)
+		cancel()
+		if srvErr == nil {
+			srvErr = opsErr
+		}
+	}
+	return srvErr
 }
 
 // runView dials a daemon's introspection endpoint and renders its live view
@@ -381,6 +479,10 @@ func runView(w io.Writer, addr string) error {
 	if a := snap.Admission; a != nil {
 		fmt.Fprintf(w, "admission: %d admitted, %d throttled, %d client bucket(s) live, %d evicted\n",
 			a.Admitted, a.Throttled, a.Clients, a.Evicted)
+	}
+	if wr := snap.Write; wr != nil {
+		fmt.Fprintf(w, "write path: %d frames in %d flushes (%.2f frames/flush), %d bytes\n",
+			wr.Frames, wr.Flushes, wr.FramesPerFlush(), wr.Bytes)
 	}
 	if len(snap.Misbehavior) > 0 {
 		subjects := make([]string, 0, len(snap.Misbehavior))

@@ -2,6 +2,9 @@ package main
 
 import (
 	"errors"
+	"io"
+	"net"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -234,6 +237,186 @@ func TestAdmissionFlagsAccepted(t *testing.T) {
 		"-client-qps", "100", "-client-burst", "1"}
 	if err := run(args, nil, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// httpGet fetches an ops endpoint and returns status plus body, failing the
+// test on transport errors.
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestOpsSurface drives the whole telemetry plane through a real daemon:
+// probes, the Prometheus exposition with families from every instrumented
+// layer, the JSON view, and the query trace ring — all over the HTTP ops
+// listener, no attested TCP hop.
+func TestOpsSurface(t *testing.T) {
+	env := newAttestationEnv("ops-secret")
+	opsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startNode(t, env, nodeConfig{
+		listen:    "127.0.0.1:0",
+		id:        "ops-node",
+		seed:      3,
+		admission: testLimiter(t, 200, 50),
+		opsLn:     opsLn,
+	})
+	// Traffic first, so the hot-path counters and the trace ring have
+	// something to show.
+	if err := runClient(env, addr, "travel plans", 8, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + opsLn.Addr().String()
+
+	if code, body := httpGet(t, base+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, body := httpGet(t, base+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz = %d %q, want 200 ready", code, body)
+	}
+
+	_, metrics := httpGet(t, base+"/metrics")
+	for _, fam := range []string{
+		// nettrans frame path (process-wide hot-path registry)
+		"cyclosa_nettrans_frames_read_total",
+		"cyclosa_nettrans_frames_written_total",
+		"cyclosa_nettrans_serve_stage_seconds_bucket",
+		"cyclosa_nettrans_serve_queries_total",
+		// backend resilience stack (instance registry, scrape-time sampled)
+		"cyclosa_backend_calls_total",
+		"cyclosa_backend_retry_budget_tokens",
+		// per-client admission
+		"cyclosa_admission_admitted_total",
+		// gossip plane
+		"cyclosa_gossip_view_size",
+		"cyclosa_gossip_rounds_total",
+		// misbehavior ledger
+		"cyclosa_misbehavior_subjects",
+		// group-commit write path
+		"cyclosa_server_write_frames_total",
+		"cyclosa_server_frames_per_flush",
+	} {
+		if !strings.Contains(metrics, fam) {
+			t.Errorf("/metrics missing family %s", fam)
+		}
+	}
+	// The served queries above must be visible as nonzero backend calls.
+	if strings.Contains(metrics, "cyclosa_backend_calls_total 0\n") {
+		t.Error("backend call counter still zero after served queries")
+	}
+
+	if code, body := httpGet(t, base+"/view"); code != http.StatusOK ||
+		!strings.Contains(body, `"self"`) || !strings.Contains(body, "ops-node") {
+		t.Fatalf("/view = %d, body missing snapshot fields:\n%s", code, body)
+	}
+
+	if code, body := httpGet(t, base+"/debug/traces"); code != http.StatusOK ||
+		!strings.Contains(body, `"serve"`) {
+		t.Fatalf("/debug/traces = %d, want serve-op traces after queries:\n%s", code, body)
+	}
+}
+
+// TestOpsAddrValidation: an unusable -ops-addr must exit non-zero at
+// start-up (the engine/admission flag convention), and the flag is ignored
+// by modes without a daemon.
+func TestOpsAddrValidation(t *testing.T) {
+	busy, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"occupied port", []string{"-mode", "node", "-ops-addr", busy.Addr().String()}, "ops-addr"},
+		{"malformed address", []string{"-mode", "node", "-ops-addr", "not an address"}, "ops-addr"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, nil, nil)
+			if err == nil {
+				t.Fatalf("args %v accepted, want bind error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the bad flag (want %q)", err, tc.want)
+			}
+		})
+	}
+
+	// View mode never binds the ops listener: an occupied -ops-addr must
+	// surface the dial failure, not a bind error.
+	err = run([]string{"-mode", "view", "-connect", "127.0.0.1:1", "-ops-addr", busy.Addr().String()}, nil, nil)
+	if err == nil || strings.Contains(err.Error(), "ops-addr") {
+		t.Fatalf("view mode should ignore -ops-addr, got: %v", err)
+	}
+}
+
+// TestOpsShutdownAfterDrain pins the drain order: when the goaway drain of
+// the frame listener completes ("frame-drained" stage), the ops listener is
+// still serving — /healthz answers 200 and /readyz already reports 503 (the
+// readiness flip happens first, so balancers stop routing before the drain).
+// Only after runNode returns is the ops socket closed.
+func TestOpsShutdownAfterDrain(t *testing.T) {
+	env := newAttestationEnv("drain-secret")
+	opsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + opsLn.Addr().String()
+
+	var healthAt, readyAt int
+	cfg := nodeConfig{
+		listen: "127.0.0.1:0",
+		id:     "drain-node",
+		seed:   1,
+		opsLn:  opsLn,
+		drainHook: func(stage string) {
+			if stage != "frame-drained" {
+				return
+			}
+			healthAt, _ = httpGet(t, base+"/healthz")
+			readyAt, _ = httpGet(t, base+"/readyz")
+		},
+	}
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() { errCh <- runNode(env, cfg, ready, stop) }()
+	select {
+	case <-ready:
+	case err := <-errCh:
+		t.Fatalf("daemon failed to start: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start")
+	}
+	close(stop)
+	if err := <-errCh; err != nil {
+		t.Fatalf("drain returned error: %v", err)
+	}
+	if healthAt != http.StatusOK {
+		t.Errorf("/healthz during frame-drained stage = %d, want 200 (ops must outlive the frame drain)", healthAt)
+	}
+	if readyAt != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during frame-drained stage = %d, want 503 (readiness flips before the drain)", readyAt)
+	}
+	// After runNode returns the ops socket must be closed.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("ops listener still serving after runNode returned")
 	}
 }
 

@@ -129,6 +129,12 @@ type Stats struct {
 	// InFlight is the number of engine calls running right now (hung calls
 	// keep counting until the engine returns).
 	InFlight int `json:"in_flight"`
+	// RetryBudgetMillitokens is the current retry token-bucket level in
+	// thousandths of a retry: retryTokenCap when the engine is healthy,
+	// draining toward zero as failures consume retries. Ops surfaces watch
+	// it as an early-warning level — a budget pinned near zero means the
+	// stack is failing faster than successes refill it.
+	RetryBudgetMillitokens int64 `json:"retry_budget_millitokens"`
 }
 
 // Stack is the resilient decorator over an Engine. The zero value is not
@@ -200,6 +206,8 @@ func (s *Stack) Stats() Stats {
 		BreakerOpen:      open,
 		BreakerOpenNanos: openNanos,
 		InFlight:         len(s.sem),
+
+		RetryBudgetMillitokens: s.tokens.Load(),
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"cyclosa/internal/rps"
 	"cyclosa/internal/securechan"
 	"cyclosa/internal/sensitivity"
+	"cyclosa/internal/telemetry"
 	"cyclosa/internal/transport"
 )
 
@@ -473,6 +474,59 @@ func (d directConduit) Deliver(from, to string, payload []byte, now time.Time) (
 // failure that is not plain unavailability is classified as relay
 // misbehavior so the retry layer can blacklist Byzantine relays.
 func (net *Network) forward(client *Node, relayID, query string, now time.Time) (forwardResponse, time.Duration, error) {
+	start := time.Now()
+	var tm forwardTiming
+	resp, lat, err := net.forwardExchange(client, relayID, query, now, &tm)
+	totalNS := int64(time.Since(start))
+	if tm.encryptNS > 0 {
+		stageEncrypt.Observe(time.Duration(tm.encryptNS))
+	}
+	if tm.deliverNS > 0 {
+		stageDeliver.Observe(time.Duration(tm.deliverNS))
+	}
+	if tm.spliceNS > 0 {
+		stageSplice.Observe(time.Duration(tm.spliceNS))
+	}
+	outcome, counter := classifyForward(resp, err)
+	counter.Inc()
+	telemetry.Traces().Record(telemetry.Trace{
+		Op:            "forward",
+		Peer:          relayID,
+		Outcome:       outcome,
+		StartUnixNano: start.UnixNano(),
+		TotalNS:       totalNS,
+		EncryptNS:     tm.encryptNS,
+		DeliverNS:     tm.deliverNS,
+		SpliceNS:      tm.spliceNS,
+	})
+	return resp, lat, err
+}
+
+// classifyForward maps a forward result onto its pre-registered outcome
+// counter. Stage fields left at zero in the trace show where the exchange
+// died (e.g. misbehaved with encrypt+deliver set failed at splice).
+func classifyForward(resp forwardResponse, err error) (string, *telemetry.Counter) {
+	switch {
+	case err == nil && resp.EngineError != "":
+		return forwardOutcomeEngineError, cForwardEngineError
+	case err == nil:
+		return forwardOutcomeOK, cForwardOK
+	case errors.Is(err, ErrSelfRelay):
+		return forwardOutcomeSelfRelay, cForwardSelfRelay
+	case errors.Is(err, ErrWireOversize):
+		return forwardOutcomeOversize, cForwardOversize
+	case errors.Is(err, ErrRelayMisbehaved):
+		return forwardOutcomeMisbehaved, cForwardMisbehaved
+	case errors.Is(err, ErrRelayUnavailable):
+		return forwardOutcomeUnavailable, cForwardUnavailable
+	default:
+		return forwardOutcomeError, cForwardError
+	}
+}
+
+// forwardExchange is the body of forward; tm receives per-stage durations
+// and must point into the caller's frame (it never escapes).
+func (net *Network) forwardExchange(client *Node, relayID, query string, now time.Time, tm *forwardTiming) (forwardResponse, time.Duration, error) {
 	if relayID == client.id {
 		// A node must never relay its own query: the engine would see the
 		// requester's identity, voiding the unlinkability argument (§IV).
@@ -525,6 +579,7 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 	// Encode in place behind a 4-byte length prefix, then pad to the fixed
 	// request size so a link observer cannot distinguish requests by
 	// length (§IV).
+	encStart := time.Now()
 	plain := append(ps.plainBuf[:0], 0, 0, 0, 0)
 	plain = appendRequest(plain, requestID, query)
 	binary.BigEndian.PutUint32(plain, uint32(len(plain)-4))
@@ -532,6 +587,7 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 	ps.plainBuf = plain
 
 	ct, err := ps.client.EncryptAppend(ps.ctBuf[:0], plain)
+	tm.encryptNS = int64(time.Since(encStart))
 	if err != nil {
 		// Unreachable for an open session (sealing cannot fail), and
 		// ensurePairLocked above guarantees one under ps.mu — kept only so a
@@ -539,7 +595,9 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 		return forwardResponse{}, latency, fmt.Errorf("client encrypt: %w", err)
 	}
 	ps.ctBuf = ct
+	delStart := time.Now()
 	respCT, injected, err := net.conduit.Deliver(client.id, relayID, ct, now)
+	tm.deliverNS = int64(time.Since(delStart))
 	latency += injected
 	if err != nil {
 		// The request record consumed a send sequence number but its receipt
@@ -553,13 +611,16 @@ func (net *Network) forward(client *Node, relayID, query string, now time.Time) 
 	// respCT points into relay-owned scratch; decrypting it into our own
 	// buffer (inside the pair critical section) consumes it before the
 	// relay can reuse it.
+	splStart := time.Now()
 	respPlain, err := ps.client.DecryptAppend(ps.plainBuf[:0], respCT)
 	if err != nil {
+		tm.spliceNS = int64(time.Since(splStart))
 		net.breakPair(ps, client, relay)
 		return forwardResponse{}, latency, fmt.Errorf("%w: response from %s: %v", ErrRelayMisbehaved, relayID, err)
 	}
 	ps.plainBuf = respPlain
 	resp, err := decodeResponseWire(respPlain)
+	tm.spliceNS = int64(time.Since(splStart))
 	if err != nil {
 		net.breakPair(ps, client, relay)
 		return forwardResponse{}, latency, fmt.Errorf("%w: response from %s: %v", ErrRelayMisbehaved, relayID, err)

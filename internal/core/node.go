@@ -344,11 +344,13 @@ func (n *Node) registerECalls() {
 		// relayTimeout, so the engine stack must give up first and answer
 		// with a typed engine error instead of silence.
 		var results []searchengine.Result
+		engStart := time.Now()
 		if n.budgeted != nil {
 			results, err = n.budgeted.SearchBudget(src, string(query), time.Unix(0, nowNano), n.relayTimeout)
 		} else {
 			results, err = n.backend.Search(src, string(query), time.Unix(0, nowNano))
 		}
+		stageEngine.Observe(time.Since(engStart))
 		if err != nil {
 			n.stats.engineErrors.Add(1)
 			return nil, err
@@ -601,6 +603,7 @@ func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rp
 			n.stats.misbehaved.Add(1)
 			n.peers.Blacklist(rps.NodeID(current))
 			n.stats.blacklisted.Add(1)
+			forwardBlacklists.Inc()
 		case errors.Is(err, ErrSelfRelay):
 			// Re-sample without blacklisting (the node is not its own enemy)
 			// and without consuming an attempt: no forward was issued, so the
@@ -612,6 +615,7 @@ func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rp
 			total += n.relayTimeout
 			n.peers.Blacklist(rps.NodeID(current))
 			n.stats.blacklisted.Add(1)
+			forwardBlacklists.Inc()
 		default:
 			return forwardResponse{}, current, total, err
 		}
@@ -641,6 +645,7 @@ func (n *Node) forwardWithRetry(relay, query string, now time.Time, exclude []rp
 		}
 		tried[next] = struct{}{}
 		current = next
+		forwardRetries.Inc()
 	}
 	if lastErr == nil && engineRelay != "" {
 		// Every relay behaved; every engine failed. Surface the last engine

@@ -50,9 +50,9 @@ type WriteStats struct {
 
 // WriteStatsSnapshot is one point-in-time reading of a WriteStats.
 type WriteStatsSnapshot struct {
-	Flushes uint64
-	Frames  uint64
-	Bytes   uint64
+	Flushes uint64 `json:"flushes"`
+	Frames  uint64 `json:"frames"`
+	Bytes   uint64 `json:"bytes"`
 }
 
 // FramesPerFlush is the write-combining ratio (0 when nothing flushed).
@@ -250,6 +250,7 @@ func (fc *frameConn) waitWritable(hint int) error {
 // generation. Called with wmu held; always unlocks it.
 func (fc *frameConn) commitFrame() error {
 	fc.wopts.stats.frames.Add(1)
+	mFramesWritten.Inc()
 	gen := fc.wgen
 	if fc.flushing {
 		// A leader is active: it will pick this batch up after the flush in
@@ -354,6 +355,8 @@ func (fc *frameConn) flushBytes(batch []byte) error {
 	}
 	fc.wopts.stats.flushes.Add(1)
 	fc.wopts.stats.bytes.Add(uint64(len(batch)))
+	mFlushes.Inc()
+	mWrittenBytes.Add(uint64(len(batch)))
 	_, err := fc.c.Write(batch)
 	return err
 }
@@ -416,6 +419,8 @@ func (fc *frameConn) readFrame(idle time.Duration) (header, *[]byte, error) {
 		putFrame(buf)
 		return header{}, nil, err
 	}
+	mFramesRead.Inc()
+	mReadBytes.Add(headerSize + uint64(h.length))
 	return h, buf, nil
 }
 

@@ -78,6 +78,10 @@ type MembershipConfig struct {
 	// AdmissionStats, when non-nil, is sampled into every view snapshot so
 	// `-mode view` shows the daemon's admitted/throttled counters live.
 	AdmissionStats func() accounting.LimiterStats
+	// WriteStats, when non-nil, is sampled into every view snapshot so
+	// `-mode view` and the ops surface show write-path health (coalescing
+	// ratio, flushed bytes), not just benches.
+	WriteStats func() WriteStatsSnapshot
 }
 
 func (cfg *MembershipConfig) applyDefaults() {
@@ -118,6 +122,9 @@ type ViewSnapshot struct {
 	// Misbehavior is the gossip-merged per-subject misbehavior count; absent
 	// when no ledger is wired in or nothing has been recorded.
 	Misbehavior map[string]int64 `json:"misbehavior,omitempty"`
+	// Write is the daemon server's write-path counters (group-commit
+	// flushes, frames, bytes); absent when no sampler is wired in.
+	Write *WriteStatsSnapshot `json:"write,omitempty"`
 }
 
 // dirEntry is the directory's cached attestation evidence for one peer.
@@ -617,6 +624,10 @@ func (m *Membership) Snapshot() ViewSnapshot {
 		if mv := m.cfg.Ledger.Values(); len(mv) > 0 {
 			snap.Misbehavior = mv
 		}
+	}
+	if m.cfg.WriteStats != nil {
+		ws := m.cfg.WriteStats()
+		snap.Write = &ws
 	}
 	for _, d := range view {
 		p := PeerInfo{ID: string(d.ID), Addr: d.Addr, Age: d.Age}

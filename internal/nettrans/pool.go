@@ -105,6 +105,9 @@ type peerState struct {
 	conn      *poolConn
 	fails     int
 	downUntil time.Time
+	// everConnected marks that at least one dial to this peer succeeded,
+	// so later dials count as reconnects in telemetry.
+	everConnected bool
 }
 
 // callResult carries one response frame (or failure) to its waiter. buf is
@@ -281,6 +284,7 @@ func (p *Pool) conn(addr string) (*poolConn, error) {
 		// failure, stuck peer): retire it — failing its pending streams
 		// fast — and fall through to a fresh dial.
 		pc.close(fmt.Errorf("%w: %s: %d consecutive timeouts", ErrConnClosed, addr, maxConsecutiveTimeouts))
+		mConnsRetired.Inc()
 		ps.conn = nil
 	}
 	if until := ps.downUntil; time.Now().Before(until) {
@@ -298,6 +302,10 @@ func (p *Pool) conn(addr string) (*poolConn, error) {
 	}
 	ps.fails = 0
 	ps.downUntil = time.Time{}
+	if ps.everConnected {
+		mReconnects.Inc()
+	}
+	ps.everConnected = true
 	// A draining predecessor is left alive to finish its pending streams
 	// (the goaway sender closes it when the drain ends); a dead one has
 	// already failed them.
@@ -309,6 +317,7 @@ func (p *Pool) conn(addr string) (*poolConn, error) {
 func (p *Pool) dial(addr string) (*poolConn, error) {
 	nc, err := net.DialTimeout("tcp", addr, p.cfg.DialTimeout)
 	if err != nil {
+		mDialError.Inc()
 		return nil, fmt.Errorf("nettrans: dial %s: %w", addr, err)
 	}
 	fc := newFrameConn(nc, p.cfg.MaxFrame, writeOptions{
@@ -323,10 +332,12 @@ func (p *Pool) dial(addr string) (*poolConn, error) {
 	}
 	if err := fc.sendHello(id); err != nil {
 		nc.Close()
+		mDialError.Inc()
 		return nil, fmt.Errorf("nettrans: hello to %s: %w", addr, err)
 	}
 	if _, err := fc.expectHello(p.cfg.DialTimeout); err != nil {
 		nc.Close()
+		mDialError.Inc()
 		return nil, fmt.Errorf("nettrans: hello from %s: %w", addr, err)
 	}
 	pc := &poolConn{
@@ -336,6 +347,7 @@ func (p *Pool) dial(addr string) (*poolConn, error) {
 		sem:  make(chan struct{}, p.cfg.MaxPending),
 	}
 	pc.lastUse.Store(time.Now().UnixNano())
+	mDialOK.Inc()
 	go pc.readLoop()
 	return pc, nil
 }

@@ -380,6 +380,8 @@ func (s *Server) serveConn(nc net.Conn) {
 					s.cfg.Logf("nettrans: %s: throttled query skip: %v", nc.RemoteAddr(), err)
 					return
 				}
+				mSkippedRecords.Inc()
+				mThrottledRecords.Inc()
 				if fc.writeErrFrame(h.stream, errCodeThrottled, "client over rate limit") != nil {
 					return
 				}
@@ -420,6 +422,7 @@ func (s *Server) serveConn(nc net.Conn) {
 			}
 			if s.cfg.Admission != nil {
 				admitted := s.cfg.Admission.AllowN(peer, len(streams))
+				mThrottledRecords.Add(uint64(len(streams) - admitted))
 				shedOK := true
 				for _, stream := range streams[admitted:] {
 					if fc.writeErrFrame(stream, errCodeThrottled, "client over rate limit") != nil {

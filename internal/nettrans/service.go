@@ -14,6 +14,7 @@ import (
 	"cyclosa/internal/core"
 	"cyclosa/internal/searchengine"
 	"cyclosa/internal/securechan"
+	"cyclosa/internal/telemetry"
 	"cyclosa/internal/wire"
 )
 
@@ -133,7 +134,10 @@ func (sc *serviceConn) skipRecord(payload []byte) error {
 // dispatch. A decrypt failure is unrecoverable (the session is
 // desynchronized), so it surfaces as an error that cuts the connection.
 func (sc *serviceConn) prepareQuery(h header, payload []byte) (func(), error) {
+	decStart := time.Now()
 	pt, err := sc.sess.DecryptAppend(sc.ptBuf[:0], payload)
+	decNS := int64(time.Since(decStart))
+	mServeDecrypt.Observe(time.Duration(decNS))
 	if err != nil {
 		return nil, fmt.Errorf("query decrypt: %w", err)
 	}
@@ -154,18 +158,42 @@ func (sc *serviceConn) prepareQuery(h header, payload []byte) (func(), error) {
 	}
 	query := string(qb) // copied out of the scratch before the next decrypt
 	stream := h.stream
-	return func() { sc.answer(stream, query) }, nil
+	return func() { sc.answer(stream, query, decNS) }, nil
 }
 
 // answer runs the engine and sends the sealed answer. Encryption happens
 // under the connection write lock (writeSealedFrame), so concurrent answers
-// keep record order equal to socket order.
-func (sc *serviceConn) answer(stream uint64, query string) {
+// keep record order equal to socket order. decNS is the read-loop decrypt
+// cost carried over from prepareQuery so the serve trace covers the full
+// lifecycle.
+func (sc *serviceConn) answer(stream uint64, query string, decNS int64) {
+	engStart := time.Now()
 	results, err := sc.svc.Backend.Search(sc.svc.Source, query, time.Now())
+	engNS := int64(time.Since(engStart))
+	mServeEngine.Observe(time.Duration(engNS))
+	sealStart := time.Now()
 	buf := getFrame()
 	pt := appendAnswerEntry((*buf)[:0], stream, results, err)
 	*buf = pt
-	if sc.fc.writeSealedFrame(sc.sess, frameAnswer, stream, pt) != nil {
+	werr := sc.fc.writeSealedFrame(sc.sess, frameAnswer, stream, pt)
+	sealNS := int64(time.Since(sealStart))
+	mServeSeal.Observe(time.Duration(sealNS))
+	outcome, ctr := serveOutcomeOK, mServeOK
+	if err != nil {
+		outcome, ctr = serveOutcomeEngineError, mServeEngineError
+	}
+	ctr.Inc()
+	telemetry.Traces().Record(telemetry.Trace{
+		Op:            "serve",
+		Peer:          sc.peer,
+		Outcome:       outcome,
+		StartUnixNano: engStart.UnixNano(),
+		TotalNS:       decNS + engNS + sealNS,
+		DecryptNS:     decNS,
+		EngineNS:      engNS,
+		SealNS:        sealNS,
+	})
+	if werr != nil {
 		// Sticky write failure (peer stopped reading, deadline tripped):
 		// cut the connection so the read loop stops feeding the engine.
 		sc.fc.Close()
@@ -201,7 +229,9 @@ func appendAnswerEntry(pt []byte, stream uint64, results []searchengine.Result, 
 // the cleartext frame header, so there is no per-entry echo to check — GCM
 // already binds them to the session.
 func (sc *serviceConn) prepareQueryBatch(payload []byte) ([]uint64, []string, error) {
+	decStart := time.Now()
 	pt, err := sc.sess.DecryptAppend(sc.ptBuf[:0], payload)
+	mServeDecrypt.Observe(time.Since(decStart))
 	if err != nil {
 		return nil, nil, fmt.Errorf("query batch decrypt: %w", err)
 	}
@@ -266,7 +296,23 @@ func (sc *serviceConn) answerBatch(streams []uint64, queries []string) {
 // flush leader; later completers only enqueue — their entries ride the
 // leader's next record.
 func (sc *serviceConn) searchAndQueue(stream uint64, query string) {
+	engStart := time.Now()
 	results, err := sc.svc.Backend.Search(sc.svc.Source, query, time.Now())
+	engNS := int64(time.Since(engStart))
+	mServeEngine.Observe(time.Duration(engNS))
+	outcome, ctr := serveOutcomeOK, mServeOK
+	if err != nil {
+		outcome, ctr = serveOutcomeEngineError, mServeEngineError
+	}
+	ctr.Inc()
+	telemetry.Traces().Record(telemetry.Trace{
+		Op:            "serve",
+		Peer:          sc.peer,
+		Outcome:       outcome,
+		StartUnixNano: engStart.UnixNano(),
+		TotalNS:       engNS,
+		EngineNS:      engNS,
+	})
 	sc.amu.Lock()
 	if len(sc.abuf) == 0 {
 		sc.abuf = append(sc.abuf, 0) // count placeholder
@@ -462,6 +508,16 @@ type qResult struct {
 // attested key exchange (initiator role), and starts the multiplexing
 // reader.
 func DialService(addr string, hs *securechan.Handshaker, cfg ClientConfig) (*Client, error) {
+	c, err := dialService(addr, hs, cfg)
+	if err != nil {
+		mDialError.Inc()
+		return nil, err
+	}
+	mDialOK.Inc()
+	return c, nil
+}
+
+func dialService(addr string, hs *securechan.Handshaker, cfg ClientConfig) (*Client, error) {
 	cfg.applyDefaults()
 	nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
 	if err != nil {

@@ -35,6 +35,7 @@ func (st *streamTable[T]) register() (uint64, chan T, error) {
 	id := st.next
 	ch := make(chan T, 1)
 	st.pend[id] = ch
+	mStreamsInFlight.Inc()
 	return id, ch, nil
 }
 
@@ -45,7 +46,10 @@ func (st *streamTable[T]) unregister(id uint64) chan T {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	ch := st.pend[id]
-	delete(st.pend, id)
+	if ch != nil {
+		delete(st.pend, id)
+		mStreamsInFlight.Dec()
+	}
 	return ch
 }
 
@@ -74,6 +78,7 @@ func (st *streamTable[T]) close(err error, mk func(error) T) bool {
 	st.deadErr = err
 	pend := st.pend
 	st.pend = nil
+	mStreamsInFlight.Add(-int64(len(pend)))
 	st.mu.Unlock()
 	for _, ch := range pend {
 		ch <- mk(err)

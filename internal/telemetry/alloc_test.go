@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"cyclosa/internal/testutil"
+)
+
+// TestTelemetryHotPathAllocs pins every instrument touched on hot paths
+// at zero allocations per operation: counter/gauge updates, histogram
+// observes, and by-value trace recording.
+func TestTelemetryHotPathAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	r := NewRegistry()
+	c := r.Counter("alloc_ops_total", "")
+	g := r.Gauge("alloc_depth", "")
+	v := r.CounterVec("alloc_outcomes_total", "", "outcome")
+	ok := v.With("ok")
+	h := r.Histogram("alloc_lat_seconds", "", DefaultLatencyBuckets)
+	ring := NewTraceRing(64)
+
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(3) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { ok.Inc() }); n != 0 {
+		t.Errorf("pre-registered vec child Inc allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(3 * time.Microsecond) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		ring.Record(Trace{Op: "forward", Peer: "relay-1", Outcome: "ok", TotalNS: 1234, EncryptNS: 100})
+	}); n != 0 {
+		t.Errorf("TraceRing.Record allocates %v/op, want 0", n)
+	}
+}

@@ -1,0 +1,18 @@
+// Package telemetry is a dependency-free metrics and tracing plane for the
+// cyclosa fleet.
+//
+// It provides a registry of atomic counters, gauges, and fixed-boundary
+// latency histograms with Prometheus text-format exposition; labeled metric
+// families whose label sets are pre-registered at package init so the hot
+// path only performs atomic adds (no allocation, no string formatting); a
+// lock-free ring buffer of recent query lifecycle traces; and an HTTP ops
+// server exposing /metrics, /healthz, /readyz, /view, /debug/traces, and
+// /debug/pprof for continuous scraping and one-curl tail-latency diagnosis.
+//
+// Two registry styles cooperate: the process-wide Default registry holds
+// hot-path instruments registered once via package-level vars in the
+// instrumented packages, while per-daemon instance registries hold
+// GaugeFunc/CounterFunc closures that sample subsystem stats (backend
+// breaker, admission limiter, gossip view, write coalescing) at scrape
+// time for zero steady-state cost.
+package telemetry

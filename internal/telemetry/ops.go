@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// OpsConfig configures an OpsServer.
+type OpsConfig struct {
+	// Registries are rendered in order on /metrics. Family names must be
+	// unique across registries (the daemon pairs the process-wide Default
+	// registry with a per-instance registry of sampled gauges).
+	Registries []*Registry
+	// Traces, when non-nil, is served at /debug/traces.
+	Traces *TraceRing
+	// View, when non-nil, is marshalled as JSON at /view.
+	View func() (any, error)
+	// Ready reports readiness for /readyz (joined + attested + serving).
+	// Nil means always ready.
+	Ready func() bool
+	// Logf receives server errors. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// OpsServer is the HTTP operations surface of a node: Prometheus metrics,
+// health and readiness probes, the membership view without a TCP hop, the
+// query trace ring, and pprof.
+type OpsServer struct {
+	cfg OpsConfig
+	srv *http.Server
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// NewOpsServer builds the server and its routes. Call Listen then Serve
+// (or ServeListener with an existing listener).
+func NewOpsServer(cfg OpsConfig) *OpsServer {
+	s := &OpsServer{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/view", s.handleView)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Listen binds addr and returns the bound address (useful with :0).
+func (s *OpsServer) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound address, or nil before Listen.
+func (s *OpsServer) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections on the listener bound by Listen until
+// Shutdown or Close. A clean shutdown returns nil.
+func (s *OpsServer) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("telemetry: Serve before Listen")
+	}
+	return s.ServeListener(ln)
+}
+
+// ServeListener serves on ln, which the server takes ownership of.
+func (s *OpsServer) ServeListener(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	err := s.srv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// but in-flight requests (e.g. a metrics scrape) run to completion or
+// until ctx expires. Safe to call more than once.
+func (s *OpsServer) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
+// Close stops the server immediately, dropping in-flight requests.
+func (s *OpsServer) Close() error { return s.srv.Close() }
+
+func (s *OpsServer) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *OpsServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b []byte
+	for _, reg := range s.cfg.Registries {
+		b = reg.AppendText(b)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := w.Write(b); err != nil {
+		s.logf("ops: metrics write: %v", err)
+	}
+}
+
+func (s *OpsServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *OpsServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.cfg.Ready != nil && !s.cfg.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("not ready\n"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+func (s *OpsServer) handleView(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.View == nil {
+		http.Error(w, "view not configured", http.StatusNotFound)
+		return
+	}
+	v, err := s.cfg.View()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, v, s.logf)
+}
+
+func (s *OpsServer) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Traces == nil {
+		http.Error(w, "traces not configured", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, struct {
+		Traces []Trace `json:"traces"`
+	}{s.cfg.Traces.Snapshot()}, s.logf)
+}
+
+func writeJSON(w http.ResponseWriter, v any, logf func(string, ...any)) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if _, err := w.Write(append(b, '\n')); err != nil && logf != nil {
+		logf("ops: json write: %v", err)
+	}
+}

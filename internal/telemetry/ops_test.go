@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func startOps(t *testing.T, cfg OpsConfig) (*OpsServer, string, chan error) {
+	t.Helper()
+	s := NewOpsServer(cfg)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve() }()
+	t.Cleanup(func() { _ = s.Close() })
+	return s, "http://" + addr.String(), errCh
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestOpsEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops_test_total", "t").Add(7)
+	inst := NewRegistry()
+	inst.GaugeFunc("ops_inst_depth", "d", func() float64 { return 3 })
+	ring := NewTraceRing(8)
+	ring.Record(Trace{Op: "forward", Peer: "r1", Outcome: "ok", TotalNS: 42})
+	var ready atomic.Bool
+	_, base, _ := startOps(t, OpsConfig{
+		Registries: []*Registry{reg, inst},
+		Traces:     ring,
+		View:       func() (any, error) { return map[string]string{"self": "n1"}, nil },
+		Ready:      ready.Load,
+	})
+
+	if code, body := get(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before ready = %d, want 503", code)
+	}
+	ready.Store(true)
+	if code, body := get(t, base+"/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("readyz after ready = %d %q", code, body)
+	}
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	if !strings.Contains(body, "ops_test_total 7") || !strings.Contains(body, "ops_inst_depth 3") {
+		t.Fatalf("metrics missing families from both registries:\n%s", body)
+	}
+	parsePromText(t, body)
+	if code, body := get(t, base+"/view"); code != 200 || !strings.Contains(body, `"self": "n1"`) {
+		t.Fatalf("view = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/debug/traces"); code != 200 || !strings.Contains(body, `"peer": "r1"`) {
+		t.Fatalf("traces = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("pprof cmdline = %d %q", code, body)
+	}
+}
+
+func TestOpsUnconfiguredEndpoints(t *testing.T) {
+	_, base, _ := startOps(t, OpsConfig{})
+	if code, _ := get(t, base+"/view"); code != http.StatusNotFound {
+		t.Fatalf("view without config = %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/debug/traces"); code != http.StatusNotFound {
+		t.Fatalf("traces without config = %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/readyz"); code != 200 {
+		t.Fatalf("readyz with nil Ready = %d, want 200", code)
+	}
+}
+
+// TestOpsShutdownWaitsForInflightScrape holds a /metrics scrape open via a
+// blocking GaugeFunc while Shutdown runs, and asserts the scrape still
+// completes with a full body: graceful shutdown must not drop in-flight
+// scrapes.
+func TestOpsShutdownWaitsForInflightScrape(t *testing.T) {
+	scrapeEntered := make(chan struct{})
+	releaseScrape := make(chan struct{})
+	var entered atomic.Bool
+	reg := NewRegistry()
+	reg.GaugeFunc("ops_slow_depth", "blocks once", func() float64 {
+		if entered.CompareAndSwap(false, true) {
+			close(scrapeEntered)
+			<-releaseScrape
+		}
+		return 9
+	})
+	s, base, serveErr := startOps(t, OpsConfig{Registries: []*Registry{reg}})
+
+	scrapeDone := make(chan string, 1)
+	go func() {
+		_, body := get(t, base+"/metrics")
+		scrapeDone <- body
+	}()
+	<-scrapeEntered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// Listener must close promptly even while the scrape is in flight.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := http.Get(base + "/healthz"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting during Shutdown")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case <-shutdownDone:
+		t.Fatal("Shutdown returned while a scrape was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(releaseScrape)
+	body := <-scrapeDone
+	if !strings.Contains(body, "ops_slow_depth 9") {
+		t.Fatalf("in-flight scrape dropped during shutdown; body = %q", body)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve after clean shutdown: %v", err)
+	}
+}
+
+func TestOpsListenErrors(t *testing.T) {
+	s1 := NewOpsServer(OpsConfig{})
+	addr, err := s1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2 := NewOpsServer(OpsConfig{})
+	if _, err := s2.Listen(addr.String()); err == nil {
+		t.Fatal("expected bind error on occupied port")
+	}
+	if err := NewOpsServer(OpsConfig{}).Serve(); err == nil {
+		t.Fatal("Serve before Listen must error")
+	}
+	if _, err := NewOpsServer(OpsConfig{}).Listen("256.0.0.1:bad"); err == nil {
+		t.Fatal("expected error for malformed address")
+	}
+}
+
+func TestOpsViewError(t *testing.T) {
+	_, base, _ := startOps(t, OpsConfig{
+		View: func() (any, error) { return nil, errors.New("membership gone") },
+	})
+	code, body := get(t, base+"/view")
+	if code != http.StatusInternalServerError || !strings.Contains(body, "membership gone") {
+		t.Fatalf("view error = %d %q", code, body)
+	}
+}
+
+func TestOpsShutdownIdempotent(t *testing.T) {
+	s, _, _ := startOps(t, OpsConfig{})
+	for i := 0; i < 2; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		if err := s.Shutdown(ctx); err != nil {
+			cancel()
+			t.Fatalf("Shutdown #%d: %v", i+1, err)
+		}
+		cancel()
+	}
+}

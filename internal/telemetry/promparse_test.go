@@ -1,0 +1,288 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsedFamily is one metric family as seen by the strict parser.
+type parsedFamily struct {
+	help    string
+	typ     string
+	samples map[string]float64 // full sample key "name{labels}" -> value
+}
+
+type promBucket struct {
+	le    float64
+	value float64
+}
+
+// parsePromText is a strict Prometheus text-format (0.0.4) validator. It
+// fails the test on any structural violation: samples without a preceding
+// TYPE, non-contiguous families, malformed labels or escapes, duplicate
+// samples, unparseable values, or histogram invariant breaks (missing le,
+// non-cumulative buckets, +Inf bucket != _count, missing _sum/_count).
+func parsePromText(t *testing.T, text string) map[string]*parsedFamily {
+	t.Helper()
+	fams := make(map[string]*parsedFamily)
+	buckets := make(map[string]map[string][]promBucket) // family -> child labels -> buckets
+	var cur *parsedFamily
+	var curName string
+	closed := make(map[string]bool)
+
+	finish := func() {
+		if cur != nil {
+			closed[curName] = true
+		}
+	}
+
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) {
+			t.Helper()
+			t.Fatalf("line %d %q: "+format, append([]any{ln + 1, line}, args...)...)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if !validMetricName(name) {
+				fail("invalid HELP metric name %q", name)
+			}
+			if closed[name] {
+				fail("family %q reopened: families must be contiguous", name)
+			}
+			if _, dup := fams[name]; dup {
+				fail("duplicate HELP for %q", name)
+			}
+			finish()
+			cur = &parsedFamily{help: help, samples: make(map[string]float64)}
+			curName = name
+			fams[name] = cur
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, _ := strings.Cut(rest, " ")
+			if name != curName || cur == nil {
+				fail("TYPE for %q does not follow its HELP (current family %q)", name, curName)
+			}
+			if cur.typ != "" {
+				fail("duplicate TYPE for %q", name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				fail("unknown TYPE %q", typ)
+			}
+			cur.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fail("unrecognized comment")
+		}
+
+		// Sample line: name[{labels}] value
+		name := line
+		labelPart := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				fail("unterminated label set")
+			}
+			labelPart = line[i+1 : j]
+			line = name + "\x00" + line[j+1:] // keep value after '}'
+			_, valStr, okc := strings.Cut(line, "\x00 ")
+			if !okc {
+				fail("missing value after label set")
+			}
+			if cur == nil || cur.typ == "" {
+				fail("sample before TYPE")
+			}
+			checkSample(t, fail, fams, buckets, cur, curName, name, labelPart, valStr)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			fail("want 'name value'")
+		}
+		name = fields[0]
+		if cur == nil || cur.typ == "" {
+			fail("sample before TYPE")
+		}
+		checkSample(t, fail, fams, buckets, cur, curName, name, "", fields[1])
+	}
+	finish()
+
+	// Histogram invariants per labeled child.
+	for famName, children := range buckets {
+		fam := fams[famName]
+		for child, bs := range children {
+			sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+			last := -1.0
+			for _, b := range bs {
+				if b.value < last {
+					t.Fatalf("%s child %q: bucket counts not cumulative (le=%v has %v after %v)", famName, child, b.le, b.value, last)
+				}
+				last = b.value
+			}
+			if len(bs) == 0 || !math.IsInf(bs[len(bs)-1].le, 1) {
+				t.Fatalf("%s child %q: missing +Inf bucket", famName, child)
+			}
+			countKey := famName + "_count" + child
+			sumKey := famName + "_sum" + child
+			count, okCount := fam.samples[countKey]
+			if _, okSum := fam.samples[sumKey]; !okSum {
+				t.Fatalf("%s child %q: missing _sum sample", famName, child)
+			}
+			if !okCount {
+				t.Fatalf("%s child %q: missing _count sample", famName, child)
+			}
+			if inf := bs[len(bs)-1].value; inf != count {
+				t.Fatalf("%s child %q: +Inf bucket %v != _count %v", famName, child, inf, count)
+			}
+		}
+	}
+	return fams
+}
+
+func checkSample(t *testing.T, fail func(string, ...any), fams map[string]*parsedFamily,
+	buckets map[string]map[string][]promBucket, cur *parsedFamily, curName, name, labelPart, valStr string) {
+	t.Helper()
+	suffix := ""
+	base := name
+	if cur.typ == "histogram" {
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, s) {
+				suffix = s
+				base = strings.TrimSuffix(name, s)
+				break
+			}
+		}
+		if suffix == "" {
+			fail("histogram sample %q must end in _bucket/_sum/_count", name)
+		}
+	}
+	if base != curName {
+		fail("sample %q outside its family block (current family %q)", name, curName)
+	}
+	labels, le, hasLE := parseLabels(t, fail, labelPart)
+	if suffix == "_bucket" && !hasLE {
+		fail("histogram bucket without le label")
+	}
+	if suffix != "_bucket" && hasLE {
+		fail("le label outside _bucket sample")
+	}
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		fail("bad value %q: %v", valStr, err)
+	}
+	key := name
+	if labelPart != "" {
+		key += "{" + labelPart + "}"
+	}
+	if _, dup := cur.samples[key]; dup {
+		fail("duplicate sample %q", key)
+	}
+	cur.samples[key] = val
+	if suffix == "_bucket" {
+		leVal := math.Inf(1)
+		if le != "+Inf" {
+			leVal, err = strconv.ParseFloat(le, 64)
+			if err != nil {
+				fail("bad le %q: %v", le, err)
+			}
+		}
+		if buckets[curName] == nil {
+			buckets[curName] = make(map[string][]promBucket)
+		}
+		child := ""
+		if labels != "" {
+			child = "{" + labels + "}"
+		}
+		buckets[curName][child] = append(buckets[curName][child], promBucket{leVal, val})
+	} else if suffix != "" {
+		_ = fams // _sum/_count recorded in cur.samples; validated at end
+	}
+}
+
+// parseLabels validates label syntax and escapes, returning the label
+// string with any le pair removed, plus the le value if present.
+func parseLabels(t *testing.T, fail func(string, ...any), s string) (withoutLE, le string, hasLE bool) {
+	t.Helper()
+	if s == "" {
+		return "", "", false
+	}
+	seen := make(map[string]bool)
+	var kept []string
+	i := 0
+	for i < len(s) {
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			fail("label missing '='")
+		}
+		name := s[i : i+j]
+		if !validLabelName(name) && name != "le" {
+			fail("invalid label name %q", name)
+		}
+		if seen[name] {
+			fail("duplicate label %q", name)
+		}
+		seen[name] = true
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			fail("label value must be quoted")
+		}
+		i++
+		var val strings.Builder
+		closedQ := false
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					fail("dangling escape")
+				}
+				switch s[i+1] {
+				case '\\', '"':
+					val.WriteByte(s[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					fail("invalid escape \\%c", s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closedQ = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closedQ {
+			fail("unterminated label value")
+		}
+		raw := s[:i] // includes quoted original; reconstruct pair below
+		_ = raw
+		if name == "le" {
+			le = val.String()
+			hasLE = true
+		} else {
+			kept = append(kept, name+`="`+val.String()+`"`)
+		}
+		if i < len(s) {
+			if s[i] != ',' {
+				fail("expected ',' between labels")
+			}
+			i++
+		}
+	}
+	return strings.Join(kept, ","), le, hasLE
+}
