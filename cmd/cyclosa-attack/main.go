@@ -6,11 +6,14 @@
 //
 //	cyclosa-attack -mechanism cyclosa -k 7
 //	cyclosa-attack -mechanism tor -users 100 -queries 2000
+//	cyclosa-attack -mechanism all -json > attack.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -18,13 +21,32 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cyclosa-attack:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// mechanismReport is one row of the -json output, in the paper's column
+// order rather than map-key order so diffs between runs line up.
+type mechanismReport struct {
+	Mechanism string  `json:"mechanism"`
+	Rate      float64 `json:"rate"`
+	Successes int     `json:"successes"`
+	Attempts  int     `json:"attempts"`
+}
+
+// attackReport is the -json document: the experiment parameters plus the
+// per-mechanism outcomes, self-describing enough to archive.
+type attackReport struct {
+	Seed       int64             `json:"seed"`
+	K          int               `json:"k"`
+	Users      int               `json:"users"`
+	Queries    int               `json:"queries"`
+	Mechanisms []mechanismReport `json:"mechanisms"`
+}
+
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cyclosa-attack", flag.ContinueOnError)
 	var (
 		mechanism = fs.String("mechanism", "all", "tor|trackmenot|goopir|peas|xsearch|cyclosa|all")
@@ -32,9 +54,35 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "random seed")
 		users     = fs.Int("users", 120, "workload users")
 		queriesN  = fs.Int("queries", 1000, "test queries replayed")
+		jsonOut   = fs.Bool("json", false, "emit the report as JSON on stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Validate before the (expensive) world build: a bad parameter must
+	// exit non-zero with usage, not burn a minute then misreport.
+	usageErr := func(err error) error {
+		fs.SetOutput(os.Stderr)
+		fs.Usage()
+		return err
+	}
+	if *k < 0 {
+		return usageErr(fmt.Errorf("-k must be >= 0, got %d", *k))
+	}
+	if *users <= 0 {
+		return usageErr(fmt.Errorf("-users must be > 0, got %d", *users))
+	}
+	if *queriesN < 0 {
+		return usageErr(fmt.Errorf("-queries must be >= 0, got %d", *queriesN))
+	}
+	names := map[string]eval.MechanismName{
+		"tor": eval.MechTOR, "trackmenot": eval.MechTMN, "goopir": eval.MechGooPIR,
+		"peas": eval.MechPEAS, "xsearch": eval.MechXSearch, "cyclosa": eval.MechCyclosa,
+	}
+	want := strings.ToLower(*mechanism)
+	if _, ok := names[want]; !ok && want != "all" {
+		return usageErr(fmt.Errorf("unknown mechanism %q", *mechanism))
 	}
 
 	fmt.Fprintf(os.Stderr, "building world (seed=%d users=%d)...\n", *seed, *users)
@@ -44,20 +92,32 @@ func run(args []string) error {
 	}
 	res := eval.RunReIdentification(world, eval.ReIdentificationOptions{K: *k, MaxQueries: *queriesN})
 
-	names := map[string]eval.MechanismName{
-		"tor": eval.MechTOR, "trackmenot": eval.MechTMN, "goopir": eval.MechGooPIR,
-		"peas": eval.MechPEAS, "xsearch": eval.MechXSearch, "cyclosa": eval.MechCyclosa,
+	selected := eval.AllMechanisms
+	if want != "all" {
+		selected = []eval.MechanismName{names[want]}
 	}
-	want := strings.ToLower(*mechanism)
+
+	if *jsonOut {
+		report := attackReport{Seed: *seed, K: res.K, Users: *users, Queries: res.Queries}
+		for _, m := range selected {
+			report.Mechanisms = append(report.Mechanisms, mechanismReport{
+				Mechanism: string(m),
+				Rate:      res.Rates[m],
+				Successes: res.Successes[m],
+				Attempts:  res.Attempts[m],
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+
 	if want == "all" {
-		fmt.Println(res)
+		fmt.Fprintln(stdout, res)
 		return nil
 	}
-	m, ok := names[want]
-	if !ok {
-		return fmt.Errorf("unknown mechanism %q", *mechanism)
-	}
-	fmt.Printf("%s: re-identification rate %.2f%% (%d/%d attempts, k=%d)\n",
+	m := selected[0]
+	fmt.Fprintf(stdout, "%s: re-identification rate %.2f%% (%d/%d attempts, k=%d)\n",
 		m, 100*res.Rates[m], res.Successes[m], res.Attempts[m], res.K)
 	return nil
 }

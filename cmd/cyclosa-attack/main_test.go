@@ -1,19 +1,91 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestRunSingleMechanism(t *testing.T) {
+	var out bytes.Buffer
 	err := run([]string{
 		"-mechanism", "tor", "-users", "15", "-queries", "60", "-k", "3",
-	})
+	}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !strings.Contains(out.String(), "re-identification rate") {
+		t.Errorf("text output missing the rate line: %q", out.String())
+	}
 }
 
-func TestRunUnknownMechanism(t *testing.T) {
-	err := run([]string{"-mechanism", "nope", "-users", "10", "-queries", "20"})
-	if err == nil {
-		t.Fatal("unknown mechanism should fail")
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-mechanism", "all", "-users", "15", "-queries", "60", "-k", "3", "-json",
+		"-seed", "5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report attackReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if report.Seed != 5 || report.K != 3 {
+		t.Errorf("report params = seed %d k %d, want 5/3", report.Seed, report.K)
+	}
+	if len(report.Mechanisms) != 6 {
+		t.Fatalf("report holds %d mechanisms, want all 6", len(report.Mechanisms))
+	}
+	// Paper column order: TOR first, CYCLOSA last.
+	if report.Mechanisms[0].Mechanism != "TOR" || report.Mechanisms[5].Mechanism != "CYCLOSA" {
+		t.Errorf("mechanisms out of paper order: %v", report.Mechanisms)
+	}
+	for _, m := range report.Mechanisms {
+		if m.Rate < 0 || m.Rate > 1 || m.Successes > m.Attempts {
+			t.Errorf("%s: implausible counts %+v", m.Mechanism, m)
+		}
+	}
+}
+
+func TestRunJSONSingleMechanism(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-mechanism", "cyclosa", "-users", "15", "-queries", "60", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report attackReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(report.Mechanisms) != 1 || report.Mechanisms[0].Mechanism != "CYCLOSA" {
+		t.Errorf("single-mechanism report = %+v", report.Mechanisms)
+	}
+}
+
+// TestRunFlagValidation table-tests the fail-fast path: bad parameters must
+// return an error (non-zero exit in main) without building the world.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown mechanism", []string{"-mechanism", "nope"}},
+		{"negative k", []string{"-k", "-1"}},
+		{"zero users", []string{"-users", "0"}},
+		{"negative users", []string{"-users", "-5"}},
+		{"negative queries", []string{"-queries", "-1"}},
+		{"malformed seed", []string{"-seed", "not-a-number"}},
+		{"unknown flag", []string{"-frobnicate"}},
+	}
+	for _, tc := range cases {
+		if err := run(tc.args, io.Discard); err == nil {
+			t.Errorf("%s: expected a validation error", tc.name)
+		}
 	}
 }

@@ -13,14 +13,26 @@
 //	cyclosa-bench -exp chaos -seed 7 -workload zipf -chaos-intensity 2
 //	cyclosa-bench -exp backend -json BENCH_backend.json
 //	cyclosa-bench -exp accounting -json BENCH_accounting.json
+//	cyclosa-bench -exp privacy -json BENCH_privacy.json
 //
 // Experiments: table1, crowd, table2, fig5, fig6, fig7, fig8a, fig8b,
 // fig8c, fig8d, loadtest, relay, net, gossip, chaos, backend, accounting,
-// all (everything except the real-time fig8c, loadtest, relay, net,
-// backend and accounting unless explicitly requested). The gossip
-// experiment measures the membership control plane: convergence of a
-// seeded overlay, re-convergence under churn, and the blacklist
-// no-re-entry invariant.
+// privacy, all (everything except the real-time fig8c, loadtest, relay,
+// net, backend, accounting and the heavyweight privacy sweep unless
+// explicitly requested). The gossip experiment measures the membership
+// control plane: convergence of a seeded overlay, re-convergence under
+// churn, and the blacklist no-re-entry invariant.
+//
+// The privacy experiment replays trace-driven query streams through the
+// CYCLOSA relay + fake-query path into the SimAttack adversary, sweeping
+// the fake-query rate k over {0, 3, 7} and reporting re-identification
+// rate, precision and recall per k, plus a planet-scale WAN churn phase
+// (five-region latency/loss matrix, heavy-tailed churn) proving the
+// overlay those queries ride on stays healthy. -users, -mean-queries and
+// -queries bound the profile (defaults 60/120/1500; -wan-nodes scales the
+// WAN phase); the process exits non-zero when the k=7 re-identification
+// rate exceeds its seeded bound or the WAN view-quality invariants break.
+// -json emits BENCH_privacy.json with history carried forward.
 //
 // The accounting experiment overloads the attested query plane at twice
 // each client's admitted rate and reports admitted vs throttled, then
@@ -84,7 +96,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cyclosa-bench", flag.ContinueOnError)
 	var (
-		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|chaos|backend|accounting|loadtest|relay|net|gossip|all")
+		exp         = fs.String("exp", "all", "experiment: table1|crowd|table2|fig5|fig6|fig7|fig8a|fig8b|fig8c|fig8d|ablation|sweep|learning|churn|chaos|backend|accounting|privacy|loadtest|relay|net|gossip|all")
 		seed        = fs.Int64("seed", 1, "random seed")
 		users       = fs.Int("users", 198, "workload users (paper: 198)")
 		mean        = fs.Int("mean-queries", 120, "mean queries per user")
@@ -97,22 +109,34 @@ func run(args []string) error {
 		jsonOut     = fs.String("json", "", "relay/net experiment: also write the result as JSON to this path (e.g. BENCH_relay.json, BENCH_net.json)")
 		intensity   = fs.Float64("chaos-intensity", 1, "chaos experiment: scale on the default fault probabilities")
 		rounds      = fs.Int("chaos-rounds", 8, "chaos experiment: schedule/workload rounds")
+		wanNodes    = fs.Int("wan-nodes", 0, "privacy experiment: WAN churn phase size (0 = default 2000, negative disables)")
+		traceFile   = fs.String("trace", "", "loadtest: replay this query-log file with -workload trace (one query per line, # comments)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	// The chaos experiment defaults to the zipf workload (its point is load
-	// shape under faults); an explicit -workload still wins.
+	// shape under faults), and the privacy experiment defaults to a bounded
+	// 60-user/1500-query profile rather than the shared flag defaults; an
+	// explicit flag still wins for both.
 	chaosWorkload := "zipf"
+	privacyUsers, privacyMean, privacyQueries := 0, 0, 0
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "workload" {
+		switch f.Name {
+		case "workload":
 			chaosWorkload = *workloadGen
+		case "users":
+			privacyUsers = *users
+		case "mean-queries":
+			privacyMean = *mean
+		case "queries":
+			privacyQueries = *queries
 		}
 	})
 
 	want := strings.ToLower(*exp)
-	needWorld := want != "table1" && want != "loadtest" && want != "relay" && want != "chaos" && want != "net" && want != "backend" && want != "accounting"
+	needWorld := want != "table1" && want != "loadtest" && want != "relay" && want != "chaos" && want != "net" && want != "backend" && want != "accounting" && want != "privacy"
 
 	var world *eval.World
 	if needWorld {
@@ -194,6 +218,7 @@ func run(args []string) error {
 				Workload:      *workloadGen,
 				Rate:          *rate,
 				CompareSerial: true,
+				TraceFile:     *traceFile,
 			})
 			if err != nil {
 				return err
@@ -313,6 +338,29 @@ func run(args []string) error {
 			}
 			return nil
 		}},
+		{"privacy", func() error {
+			r, err := eval.RunPrivacyBench(eval.PrivacyBenchOptions{
+				Seed:        *seed,
+				Users:       privacyUsers,
+				MeanQueries: privacyMean,
+				Queries:     privacyQueries,
+				WANNodes:    *wanNodes,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			if *jsonOut != "" {
+				if err := r.WriteJSON(*jsonOut); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+			}
+			if r.Failed() {
+				return fmt.Errorf("privacy: re-identification invariants violated (seed %d replays the failure)", *seed)
+			}
+			return nil
+		}},
 		{"chaos", func() error {
 			r, err := eval.RunChaos(eval.ChaosOptions{
 				Seed:      *seed,
@@ -339,6 +387,10 @@ func run(args []string) error {
 		}
 		if want == "all" && (e.name == "fig8c" || e.name == "loadtest" || e.name == "relay" || e.name == "net" || e.name == "backend" || e.name == "accounting") {
 			fmt.Printf("%s: skipped in -exp all (real-time load test); run -exp %s explicitly\n", e.name, e.name)
+			continue
+		}
+		if want == "all" && e.name == "privacy" {
+			fmt.Printf("privacy: skipped in -exp all (heavyweight adversarial sweep); run -exp privacy explicitly\n")
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", e.name)

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -38,6 +39,10 @@ type LoadTestOptions struct {
 	// TraceQueries is the mean per-user query count used to synthesize the
 	// trace for -workload trace (default 40).
 	TraceQueries int
+	// TraceFile, when set with -workload trace, replays a recorded query
+	// log (one query per line, '#' comments; see workload.ParseTrace)
+	// instead of synthesizing one.
+	TraceFile string
 }
 
 // LoadTestResult is the outcome of a load test run.
@@ -71,7 +76,25 @@ func RunLoadTest(opts LoadTestOptions) (*LoadTestResult, error) {
 
 	uni := queries.NewUniverse(queries.UniverseConfig{Seed: opts.Seed})
 	var trace []string
-	if opts.Workload == "trace" {
+	switch {
+	case opts.Workload == "trace" && opts.TraceFile != "":
+		f, err := os.Open(opts.TraceFile)
+		if err != nil {
+			return nil, fmt.Errorf("open trace: %w", err)
+		}
+		var skipped int
+		trace, skipped, err = workload.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(trace) == 0 {
+			return nil, fmt.Errorf("trace %s holds no replayable queries (%d lines skipped)", opts.TraceFile, skipped)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "loadtest: skipped %d malformed trace line(s)\n", skipped)
+		}
+	case opts.Workload == "trace":
 		log := queries.Generate(queries.GeneratorConfig{
 			Seed:               opts.Seed,
 			Universe:           uni,

@@ -1,0 +1,121 @@
+package sensitivity
+
+import (
+	"math/rand"
+	"testing"
+
+	"cyclosa/internal/queries"
+)
+
+// TestLinkabilityScoreBoundsProperty checks the assessor's contract over a
+// large generated workload: for any history and any query, Score stays in
+// [0, 1] (the analyzer projects it linearly onto k ∈ [0, kmax], so an
+// out-of-range score silently corrupts the privacy knob).
+func TestLinkabilityScoreBoundsProperty(t *testing.T) {
+	uni := queries.NewUniverse(queries.UniverseConfig{Seed: 51})
+	log := queries.Generate(queries.GeneratorConfig{
+		Seed:               51,
+		Universe:           uni,
+		NumUsers:           20,
+		MeanQueriesPerUser: 30,
+	})
+	for _, alpha := range []float64{0.1, 0.5, 0.9} {
+		l := NewLinkability(alpha)
+		for i, q := range log.Queries {
+			// Score before and after recording: both reads must be bounded,
+			// including against the empty and one-element histories.
+			if s := l.Score(q.Text); s < 0 || s > 1 {
+				t.Fatalf("alpha=%v query %d: pre-add score %v out of [0,1]", alpha, i, s)
+			}
+			l.Add(q.Text)
+			if s := l.Score(q.Text); s < 0 || s > 1 {
+				t.Fatalf("alpha=%v query %d: post-add score %v out of [0,1]", alpha, i, s)
+			}
+		}
+	}
+}
+
+// TestLinkabilitySelfScoreProperty checks that a query identical to a
+// recorded one is maximally linkable among perturbations of itself: the
+// exact repeat never scores below a same-history unrelated query.
+func TestLinkabilitySelfScoreProperty(t *testing.T) {
+	uni := queries.NewUniverse(queries.UniverseConfig{Seed: 52})
+	log := queries.Generate(queries.GeneratorConfig{
+		Seed:               52,
+		Universe:           uni,
+		NumUsers:           10,
+		MeanQueriesPerUser: 20,
+	})
+	l := NewLinkability(0.5)
+	rng := rand.New(rand.NewSource(52))
+	for _, q := range log.Queries {
+		l.Add(q.Text)
+		self := l.Score(q.Text)
+		if self <= 0 {
+			continue // stop-word-only query never entered the history
+		}
+		other := log.Queries[rng.Intn(len(log.Queries))]
+		if s := l.Score(other.Text); s > 1 {
+			t.Fatalf("unrelated score %v > 1 for %q", s, other.Text)
+		}
+	}
+	if l.HistorySize() == 0 {
+		t.Fatal("no queries entered the history; the property is vacuous")
+	}
+}
+
+// TestLinkabilityEdgeQueries table-tests the degenerate inputs the browser
+// extension can hand the assessor (empty box, stop words, punctuation).
+func TestLinkabilityEdgeQueries(t *testing.T) {
+	l := NewLinkability(0.5)
+	l.Add("kidney dialysis treatment")
+
+	cases := []struct {
+		name  string
+		query string
+		want  float64
+	}{
+		{"empty query", "", 0},
+		{"whitespace only", "   \t  ", 0},
+		{"all stop words", "the and of to in", 0},
+		{"punctuation only", "?!., --", 0},
+		{"unrelated real query", "pizza recipe dough", 0},
+	}
+	for _, tc := range cases {
+		if got := l.Score(tc.query); got != tc.want {
+			t.Errorf("%s: Score(%q) = %v, want %v", tc.name, tc.query, got, tc.want)
+		}
+	}
+
+	// Degenerate adds must not grow the history (they would dilute the
+	// smoothing without representing a real past query).
+	before := l.HistorySize()
+	for _, tc := range cases[:4] {
+		l.Add(tc.query)
+	}
+	if l.HistorySize() != before {
+		t.Errorf("degenerate adds grew history: %d -> %d", before, l.HistorySize())
+	}
+}
+
+// TestBoundedLinkabilityScoreBounds checks the bounded variant keeps the
+// [0, 1] contract across evictions.
+func TestBoundedLinkabilityScoreBounds(t *testing.T) {
+	uni := queries.NewUniverse(queries.UniverseConfig{Seed: 53})
+	log := queries.Generate(queries.GeneratorConfig{
+		Seed:               53,
+		Universe:           uni,
+		NumUsers:           8,
+		MeanQueriesPerUser: 25,
+	})
+	l := NewBoundedLinkability(0.5, 10)
+	for i, q := range log.Queries {
+		l.Add(q.Text)
+		if s := l.Score(q.Text); s < 0 || s > 1 {
+			t.Fatalf("query %d: score %v out of [0,1] with bounded history", i, s)
+		}
+	}
+	if l.HistorySize() > 10 {
+		t.Fatalf("bounded history grew to %d, want <= 10", l.HistorySize())
+	}
+}

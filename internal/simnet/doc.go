@@ -79,6 +79,20 @@
 // mirroring the daemon's fallback to its -bootstrap list. The run is fully
 // serial and its event log byte-identical under a fixed seed.
 //
+// # Planet-scale WAN churn
+//
+// WANChurn scales the same exchange machinery to 10,000 nodes on the
+// transport.WANMatrix (five regions, empirical inter-region latency and
+// loss, Pareto jitter). Sessions arrive continuously with Pareto
+// lifetimes, flash crowds inject join bursts, and a partition splits the
+// regions mid-run. WANChurnReport.Check asserts the scale-invariant view
+// quality bounds: the convergence fraction (reachable/alive, default
+// 0.999 — under continuous churn the handful of this-round joiners are
+// always still bootstrapping), the in-degree spread (max no more than 12x
+// the mean, bootstrap seeds excluded), and a finite partition-heal time.
+// Like every driver here, the schedule (GenWANChurn) and the run log are
+// pure functions of the seed.
+//
 // # Replaying a failure
 //
 // A chaos run is fully described by its ChaosOptions: the schedule, the

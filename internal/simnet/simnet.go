@@ -78,6 +78,7 @@ const (
 	FaultSpike
 	FaultCrashBlocked
 	FaultPartitionBlocked
+	FaultWANLost
 )
 
 var faultNames = [...]string{
@@ -91,6 +92,7 @@ var faultNames = [...]string{
 	FaultSpike:            "spike",
 	FaultCrashBlocked:     "crash-blocked",
 	FaultPartitionBlocked: "partition-blocked",
+	FaultWANLost:          "wan-lost",
 }
 
 // String names the fault kind.
@@ -133,6 +135,7 @@ type Stats struct {
 	Spiked           uint64
 	CrashBlocked     uint64
 	PartitionBlocked uint64
+	WANLost          uint64
 }
 
 // ContentFaults is the number of deliveries whose bytes were forged in some
@@ -154,6 +157,13 @@ type Config struct {
 	// EventLogSize bounds the fault event log (default 4096; 0 keeps the
 	// default, negative disables the log).
 	EventLogSize int
+	// WAN, when non-nil, layers the planet-scale latency/loss matrix over
+	// every delivery: each delivery pays a region-dependent round trip as
+	// injected latency (heavy-tailed jitter included), and lost deliveries
+	// surface as relay unavailability, drawn from the matrix's own seeded
+	// stream keyed by the pair's delivery index. Nil keeps the uniform
+	// zero-latency network and the allocation-free fast path.
+	WAN *transport.WANMatrix
 }
 
 // Sim is the fault-injecting conduit. Wire it into a network with
@@ -166,6 +176,7 @@ type Sim struct {
 	seed   uint64
 	faults FaultConfig
 	inv    *Invariants
+	wan    *transport.WANMatrix
 
 	// cut are the cumulative fault thresholds out of 2^32 (the fault draw's
 	// low word is compared against them in catalog order).
@@ -184,7 +195,7 @@ type Sim struct {
 
 	attempts  atomic.Uint64
 	delivered atomic.Uint64
-	counts    [FaultPartitionBlocked + 1]atomic.Uint64
+	counts    [FaultWANLost + 1]atomic.Uint64
 
 	logMu   sync.Mutex
 	logCap  int
@@ -209,6 +220,7 @@ func New(cfg Config) *Sim {
 		seed:      uint64(cfg.Seed),
 		faults:    cfg.Faults,
 		inv:       cfg.Invariants,
+		wan:       cfg.WAN,
 		crashed:   make(map[string]struct{}),
 		partition: make(map[[2]string]struct{}),
 		pairs:     make(map[[2]string]*pairStream),
@@ -303,6 +315,7 @@ func (s *Sim) Stats() Stats {
 		Spiked:           s.counts[FaultSpike].Load(),
 		CrashBlocked:     s.counts[FaultCrashBlocked].Load(),
 		PartitionBlocked: s.counts[FaultPartitionBlocked].Load(),
+		WANLost:          s.counts[FaultWANLost].Load(),
 	}
 }
 
@@ -355,7 +368,7 @@ func (s *Sim) Deliver(from, to string, payload []byte, now time.Time) ([]byte, t
 		return nil, 0, fmt.Errorf("%w: simnet: %s->%s partitioned", core.ErrRelayUnavailable, from, to)
 	}
 
-	if !s.faults.active() {
+	if s.wan == nil && !s.faults.active() {
 		resp, injected, err := s.inner.Deliver(from, to, payload, now)
 		s.delivered.Add(1)
 		if s.inv != nil && err == nil {
@@ -366,13 +379,30 @@ func (s *Sim) Deliver(from, to string, payload []byte, now time.Time) ([]byte, t
 	return s.deliverFaulty(from, to, payload, now)
 }
 
-// deliverFaulty is the slow path: draw the pair's next fault and apply it.
+// deliverFaulty is the slow path: consult the WAN matrix, then draw the
+// pair's next fault and apply it. With WAN nil the fault stream is
+// byte-identical to the pre-WAN Sim: the same pair indices key the same
+// draws.
 func (s *Sim) deliverFaulty(from, to string, payload []byte, now time.Time) ([]byte, time.Duration, error) {
 	ps := s.pair(from, to)
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	idx := ps.n
 	ps.n++
+
+	// The WAN draw precedes the fault draw and uses the matrix's own seeded
+	// stream, so enabling WAN never perturbs the fault streams and a lost
+	// delivery consumes the pair index like any other.
+	var wanRTT time.Duration
+	if s.wan != nil {
+		if s.wan.Lose(from, to, idx) {
+			s.record(FaultWANLost, from, to, idx)
+			return nil, 0, fmt.Errorf("%w: simnet: wan lost %s->%s #%d (%s->%s)",
+				core.ErrRelayUnavailable, from, to, idx,
+				s.wan.RegionName(from), s.wan.RegionName(to))
+		}
+		wanRTT = s.wan.RTT(from, to, idx)
+	}
 
 	draw := mix(s.seed, pairHash(from, to), idx)
 	kind := s.pick(draw)
@@ -385,7 +415,7 @@ func (s *Sim) deliverFaulty(from, to string, payload []byte, now time.Time) ([]b
 		ps.lastReq = append(ps.lastReq[:0], payload...)
 	}
 
-	var injected time.Duration
+	injected := wanRTT
 	switch kind {
 	case FaultDrop:
 		s.record(FaultDrop, from, to, idx)
@@ -407,7 +437,7 @@ func (s *Sim) deliverFaulty(from, to string, payload []byte, now time.Time) ([]b
 		payload = ps.lastReq
 	case FaultSpike:
 		s.record(FaultSpike, from, to, idx)
-		injected = s.faults.SpikeLatency
+		injected += s.faults.SpikeLatency
 	}
 
 	resp, d, err := s.inner.Deliver(from, to, payload, now)

@@ -1,0 +1,228 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"cyclosa/internal/transport"
+)
+
+// TestWANChurn10k is the planet-scale smoke: N=10,000 base nodes on the
+// five-region WAN matrix, heavy-tailed churn with a flash crowd, and a
+// region-level partition window, with view-quality metrics asserted against
+// seeded bounds. Under -short the round count shrinks to fit the CI race
+// budget; the population does not.
+func TestWANChurn10k(t *testing.T) {
+	opts := WANChurnOptions{
+		Seed:        42,
+		Nodes:       10000,
+		Rounds:      18,
+		PartitionAt: 8,
+		HealAt:      11,
+		Churn:       WANChurnConfig{FlashCrowds: []FlashCrowd{{Round: 5, Size: 300}}},
+	}
+	if testing.Short() {
+		opts.Rounds = 10
+		opts.PartitionAt, opts.HealAt = 4, 6
+		opts.Churn.FlashCrowds = []FlashCrowd{{Round: 3, Size: 300}}
+	}
+	rep, err := WANChurn(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := rep.Check(); len(bad) > 0 {
+		t.Fatalf("view-quality violations:\n%s", strings.Join(bad, "\n"))
+	}
+	if rep.ConvergedAt < 1 || rep.ConvergedAt > 5 {
+		t.Errorf("ConvergedAt = %d, want within [1, 5]", rep.ConvergedAt)
+	}
+	if rep.HealRounds < 0 || rep.HealRounds > 3 {
+		t.Errorf("HealRounds = %d, want within [0, 3]", rep.HealRounds)
+	}
+	if rep.FinalAlive < opts.Nodes {
+		t.Errorf("FinalAlive = %d, want >= %d (churn is net-positive)", rep.FinalAlive, opts.Nodes)
+	}
+	if rep.Joins == 0 || rep.Leaves == 0 {
+		t.Errorf("churn did not fire: joins=%d leaves=%d", rep.Joins, rep.Leaves)
+	}
+	if rep.Losses == 0 {
+		t.Errorf("no WAN losses over %d exchanges", rep.Exchanges)
+	}
+	if rep.MeanInDegree < 8 || rep.MeanInDegree > 24 {
+		t.Errorf("MeanInDegree = %.2f, want within [8, 24] for view size 16", rep.MeanInDegree)
+	}
+	if rep.RTTp50 < 50*time.Millisecond || rep.RTTp50 > 400*time.Millisecond {
+		t.Errorf("RTTp50 = %v, want within [50ms, 400ms] for the default matrix", rep.RTTp50)
+	}
+	if rep.RTTp95 <= rep.RTTp50 {
+		t.Errorf("RTTp95 %v <= RTTp50 %v", rep.RTTp95, rep.RTTp50)
+	}
+	if got := len(rep.RegionCounts); got != 5 {
+		t.Errorf("RegionCounts has %d regions, want 5", got)
+	}
+	for region, n := range rep.RegionCounts {
+		if n < 1000 {
+			t.Errorf("region %s holds only %d of %d base nodes", region, n, opts.Nodes)
+		}
+	}
+}
+
+// TestWANChurnDeterminism replays a mid-sized run twice and demands a
+// byte-identical event log and an identical report.
+func TestWANChurnDeterminism(t *testing.T) {
+	run := func() *WANChurnReport {
+		rep, err := WANChurn(WANChurnOptions{
+			Seed:         7,
+			Nodes:        1500,
+			Rounds:       12,
+			PartitionAt:  5,
+			HealAt:       7,
+			ConvergeFrac: 0.995,
+			Churn:        WANChurnConfig{ChurnPerRound: 0.01, FlashCrowds: []FlashCrowd{{Round: 3, Size: 60}}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if la, lb := strings.Join(a.Log, "\n"), strings.Join(b.Log, "\n"); la != lb {
+		t.Fatalf("event logs diverge across identical runs:\n--- a ---\n%s\n--- b ---\n%s", la, lb)
+	}
+	if fa, fb := fmt.Sprintf("%+v", a), fmt.Sprintf("%+v", b); fa != fb {
+		t.Fatalf("reports diverge across identical runs:\n--- a ---\n%s\n--- b ---\n%s", fa, fb)
+	}
+	if bad := a.Check(); len(bad) > 0 {
+		t.Fatalf("view-quality violations at N=1500:\n%s", strings.Join(bad, "\n"))
+	}
+}
+
+func TestWANChurnSeedChangesRun(t *testing.T) {
+	run := func(seed int64) string {
+		rep, err := WANChurn(WANChurnOptions{Seed: seed, Nodes: 300, Rounds: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(rep.Log, "\n")
+	}
+	if run(1) == run(2) {
+		t.Fatalf("different seeds produced identical runs")
+	}
+}
+
+func TestWANChurnBadOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opts WANChurnOptions
+	}{
+		{"too few nodes", WANChurnOptions{Nodes: 3}},
+		{"namespace overflow", WANChurnOptions{Nodes: 10001}},
+		{"partition missing heal", WANChurnOptions{Nodes: 100, PartitionAt: 3}},
+		{"heal before partition", WANChurnOptions{Nodes: 100, PartitionAt: 5, HealAt: 2}},
+		{"converge frac above one", WANChurnOptions{Nodes: 100, ConvergeFrac: 1.5}},
+		{"bad wan config", WANChurnOptions{Nodes: 100, WAN: transport.WANConfig{
+			Regions: []string{"a"}, OneWayMs: [][]float64{{1}}, Loss: [][]float64{{2}},
+		}}},
+	}
+	for _, tc := range cases {
+		if _, err := WANChurn(tc.opts); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestGenWANChurnDeterminism(t *testing.T) {
+	cfg := WANChurnConfig{Rounds: 40, BaseNodes: 5000, FlashCrowds: []FlashCrowd{{Round: 10, Size: 200}}}
+	a, b := GenWANChurn(99, cfg), GenWANChurn(99, cfg)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different schedules")
+	}
+	c, d := GenWANChurn(99, cfg), GenWANChurn(100, cfg)
+	if c.String() == d.String() {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+	if a.Sessions == 0 {
+		t.Fatalf("no sessions scheduled")
+	}
+}
+
+// TestGenWANChurnUnperturbed pins the schedule for a fixed seed, in the
+// style of TestGenScheduleUnperturbed: adding sibling generators later must
+// not shift this stream (GenWANChurn salts with seed ^ 0x77616e63).
+func TestGenWANChurnUnperturbed(t *testing.T) {
+	got := GenWANChurn(7, WANChurnConfig{Rounds: 6, BaseNodes: 400, FlashCrowds: []FlashCrowd{{Round: 3, Size: 4}}})
+	want := "sessions=16\n" +
+		"round 1: joins=2 leaves=[]\n" +
+		"round 2: joins=2 leaves=[]\n" +
+		"round 3: joins=6 leaves=[]\n" +
+		"round 4: joins=2 leaves=[1]\n" +
+		"round 5: joins=2 leaves=[3]\n" +
+		"round 6: joins=2 leaves=[7 8 9]"
+	if got.String() != want {
+		t.Fatalf("GenWANChurn(7, ...) stream shifted:\n got: %q\nwant: %q", got.String(), want)
+	}
+}
+
+// TestSimWANDeterminism drives the same deliveries through two Sims with
+// the WAN matrix enabled and demands identical loss events, stats and
+// injected latencies.
+func TestSimWANDeterminism(t *testing.T) {
+	matrix, err := transport.NewWANMatrix(transport.DefaultWANConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]Event, Stats, time.Duration) {
+		s := New(Config{Seed: 11, WAN: matrix})
+		s.Wrap(echoConduit{})
+		var totalInjected time.Duration
+		now := time.Unix(0, 0)
+		for i := 0; i < 4000; i++ {
+			from, to := fmt.Sprintf("c%d", i%7), fmt.Sprintf("r%d", i%5)
+			_, injected, err := s.Deliver(from, to, []byte("payload"), now)
+			if err == nil {
+				totalInjected += injected
+			}
+		}
+		events, _ := s.Events()
+		return events, s.Stats(), totalInjected
+	}
+	ea, sa, ia := run()
+	eb, sb, ib := run()
+	if sa != sb {
+		t.Fatalf("stats diverge: %+v vs %+v", sa, sb)
+	}
+	if ia != ib {
+		t.Fatalf("injected latency diverges: %v vs %v", ia, ib)
+	}
+	if len(ea) != len(eb) {
+		t.Fatalf("event counts diverge: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d diverges: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+	if sa.WANLost == 0 {
+		t.Fatalf("no WAN losses over 4000 deliveries: %+v", sa)
+	}
+	for _, e := range ea {
+		if e.Kind != FaultWANLost {
+			t.Fatalf("unexpected fault kind %v with only WAN configured", e.Kind)
+		}
+	}
+	if sa.Delivered+sa.WANLost != sa.Attempts {
+		t.Fatalf("accounting mismatch: %+v", sa)
+	}
+	if ia == 0 {
+		t.Fatalf("WAN injected no latency")
+	}
+}
+
+// echoConduit is the trivial inner conduit for Sim-level WAN tests.
+type echoConduit struct{}
+
+func (echoConduit) Deliver(from, to string, payload []byte, now time.Time) ([]byte, time.Duration, error) {
+	return payload, 0, nil
+}

@@ -12,6 +12,17 @@
 // faster, by what factor, how latency grows with k — is reproduced by
 // construction of the same message paths.
 //
+// # The WAN matrix
+//
+// WANMatrix is the planet-scale counterpart: nodes hash into five
+// geographic regions, each region pair carries an empirical one-way base
+// latency and loss probability, and every delivery adds a heavy-tailed
+// Pareto jitter draw from a splitmix64 stream keyed by (seed, link,
+// delivery index) — latencies and losses are pure functions of the seed.
+// WANConduit layers the matrix over any inner Conduit (RTT as injected
+// latency, loss as ErrLinkLost); internal/simnet accepts the same matrix
+// directly so WAN conditions compose with the fault catalog.
+//
 // # The Conduit seam
 //
 // Conduit is the delivery boundary of the forward data plane: one encrypted

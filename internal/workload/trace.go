@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// MaxTraceLine bounds one trace line: a query longer than this is not a
+// query, it is a corrupt or adversarial input (a 64 KiB line is ~400x the
+// longest AOL query).
+const MaxTraceLine = 64 << 10
+
+// ParseTrace reads a trace-replay query log: one query per line, '#' lines
+// as comments. Malformed material — blank lines, comments, NUL bytes,
+// over-long lines — is skipped and counted rather than failing the load,
+// the same discipline as queries.LoadTSV: a multi-hundred-thousand-line
+// trace with a few bad records should replay, not abort. Only I/O errors
+// are returned.
+func ParseTrace(r io.Reader) (texts []string, skipped int, err error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	for {
+		line, readErr := readBoundedLine(br)
+		if line != nil {
+			if q, ok := cleanTraceLine(line); ok {
+				texts = append(texts, q)
+			} else {
+				skipped++
+			}
+		}
+		if readErr == io.EOF {
+			return texts, skipped, nil
+		}
+		if readErr != nil {
+			return texts, skipped, fmt.Errorf("workload: read trace: %w", readErr)
+		}
+	}
+}
+
+// readBoundedLine reads one \n-terminated line, returning nil (not a
+// truncated prefix) for lines beyond MaxTraceLine — a partial query would
+// silently replay the wrong workload. The over-long line's bytes are
+// drained so the next call resumes at the next line.
+func readBoundedLine(br *bufio.Reader) ([]byte, error) {
+	var line []byte
+	overlong := false
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if !overlong {
+			line = append(line, chunk...)
+		}
+		if len(line) > MaxTraceLine {
+			line, overlong = nil, true
+		}
+		switch err {
+		case nil:
+			if overlong {
+				// Signal one skipped line with a non-nil, non-parsing value.
+				return []byte{0}, nil
+			}
+			return line, nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			if overlong {
+				return []byte{0}, err
+			}
+			if len(line) == 0 {
+				return nil, err
+			}
+			return line, err
+		}
+	}
+}
+
+// cleanTraceLine validates and trims one raw line; ok is false for
+// material that must be skipped.
+func cleanTraceLine(line []byte) (string, bool) {
+	s := strings.TrimRight(string(line), "\r\n")
+	s = strings.TrimSpace(s)
+	if s == "" || strings.HasPrefix(s, "#") {
+		return "", false
+	}
+	if strings.IndexByte(s, 0) >= 0 {
+		return "", false
+	}
+	return s, true
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseTrace(t *testing.T) {
+	in := strings.Join([]string{
+		"# AOL-style replay trace",
+		"cheap flights paris",
+		"",
+		"   symptoms of flu   ",
+		"with\x00nul byte",
+		"last query no newline",
+	}, "\n")
+	texts, skipped, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cheap flights paris", "symptoms of flu", "last query no newline"}
+	if len(texts) != len(want) {
+		t.Fatalf("parsed %d queries %v, want %d", len(texts), texts, len(want))
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("texts[%d] = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	// comment + blank + NUL line = 3 skips.
+	if skipped != 3 {
+		t.Errorf("skipped = %d, want 3", skipped)
+	}
+}
+
+func TestParseTraceEmpty(t *testing.T) {
+	texts, skipped, err := ParseTrace(strings.NewReader(""))
+	if err != nil || len(texts) != 0 || skipped != 0 {
+		t.Fatalf("empty input: texts=%v skipped=%d err=%v", texts, skipped, err)
+	}
+}
+
+func TestParseTraceOverlongLine(t *testing.T) {
+	huge := strings.Repeat("a", MaxTraceLine+1)
+	in := "before\n" + huge + "\nafter\n"
+	texts, skipped, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(texts) != 2 || texts[0] != "before" || texts[1] != "after" {
+		t.Fatalf("texts = %v, want [before after]", texts)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1 (the over-long line)", skipped)
+	}
+}
+
+func TestParseTraceOverlongFinalLineNoNewline(t *testing.T) {
+	in := "keep\n" + strings.Repeat("b", MaxTraceLine+100)
+	texts, skipped, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(texts) != 1 || texts[0] != "keep" {
+		t.Fatalf("texts = %v, want [keep]", texts)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+}
+
+func TestParseTraceFeedsReplay(t *testing.T) {
+	texts, _, err := ParseTrace(strings.NewReader("q one\nq two\nq three\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := ReplayQueries(texts)
+	s := gen.Stream(0, 1)
+	for i := 0; i < 6; i++ {
+		if got, want := s.Next(), texts[i%3]; got != want {
+			t.Fatalf("replay[%d] = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// errReader fails after its prefix to prove I/O errors surface.
+type errReader struct {
+	data string
+	done bool
+}
+
+func (e *errReader) Read(p []byte) (int, error) {
+	if !e.done {
+		e.done = true
+		return copy(p, e.data), nil
+	}
+	return 0, errors.New("disk on fire")
+}
+
+func TestParseTraceIOError(t *testing.T) {
+	_, _, err := ParseTrace(&errReader{data: "partial\n"})
+	if err == nil {
+		t.Fatalf("expected an I/O error")
+	}
+}
+
+// FuzzParseTrace hammers the parser with malformed input: it must never
+// panic, never return queries containing NUL or exceeding the line bound,
+// and must be deterministic.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("normal query\nanother one\n")
+	f.Add("# comment\n\n\n")
+	f.Add("nul\x00inside\n")
+	f.Add(strings.Repeat("x", MaxTraceLine+5) + "\nok\n")
+	f.Add("\r\n\r\n")
+	f.Add("no trailing newline")
+	f.Add("\x00")
+	f.Fuzz(func(t *testing.T, input string) {
+		texts, skipped, err := ParseTrace(strings.NewReader(input))
+		if err != nil {
+			t.Fatalf("in-memory reader returned error: %v", err)
+		}
+		if skipped < 0 {
+			t.Fatalf("negative skip count %d", skipped)
+		}
+		for _, q := range texts {
+			if q == "" {
+				t.Fatalf("empty query passed the filter")
+			}
+			if strings.IndexByte(q, 0) >= 0 {
+				t.Fatalf("NUL byte passed the filter: %q", q)
+			}
+			if len(q) > MaxTraceLine {
+				t.Fatalf("over-long query passed the filter: %d bytes", len(q))
+			}
+			if strings.HasPrefix(q, "#") {
+				t.Fatalf("comment passed the filter: %q", q)
+			}
+		}
+		texts2, skipped2, _ := ParseTrace(strings.NewReader(input))
+		if len(texts) != len(texts2) || skipped != skipped2 {
+			t.Fatalf("parse is nondeterministic: %d/%d vs %d/%d", len(texts), skipped, len(texts2), skipped2)
+		}
+	})
+}
